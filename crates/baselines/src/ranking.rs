@@ -1,0 +1,296 @@
+//! Filter-importance ranking criteria of the Table I baselines.
+//!
+//! Each criterion produces, per tap (= per prunable conv layer), one
+//! score per output filter; static pruning then removes the
+//! lowest-scored filters permanently.
+
+use crate::recording::ActivationRecorder;
+use antidote_data::{BatchIter, Split};
+use antidote_models::Network;
+use antidote_nn::loss::softmax_cross_entropy;
+use antidote_nn::Mode;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which static-pruning baseline ranks the filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StaticMethod {
+    /// ℓ1-norm filter pruning (Li et al. [8]): score = Σ|W_filter|.
+    L1,
+    /// First-order Taylor pruning (Molchanov et al. [19]):
+    /// score = |Σ W ⊙ ∂L/∂W| per filter, accumulated over data.
+    Taylor,
+    /// Geometric-median pruning (He et al. [20]): score = Σ_j ‖W_i − W_j‖
+    /// (filters closest to the layer's geometric median are redundant).
+    GeometricMedian,
+    /// Functionality-oriented pruning (Qin et al. [21]): score = variance
+    /// of the filter's class-conditional mean activations (filters that
+    /// discriminate classes are functional).
+    FunctionalityOriented,
+}
+
+impl StaticMethod {
+    /// All four baselines, in Table I order.
+    pub fn all() -> [StaticMethod; 4] {
+        [
+            StaticMethod::L1,
+            StaticMethod::Taylor,
+            StaticMethod::GeometricMedian,
+            StaticMethod::FunctionalityOriented,
+        ]
+    }
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            StaticMethod::L1 => "L1 Pruning",
+            StaticMethod::Taylor => "Taylor Pruning",
+            StaticMethod::GeometricMedian => "GM Pruning",
+            StaticMethod::FunctionalityOriented => "FO Pruning",
+        }
+    }
+}
+
+/// Per-tap filter scores: `scores[tap][filter]`, higher = more important.
+pub type FilterScores = BTreeMap<usize, Vec<f32>>;
+
+/// Ranks every tap's filters with `method`.
+///
+/// Weight-only criteria (L1, GM) need no data; data-driven criteria
+/// (Taylor, FO) run up to `max_batches` minibatches of `split` through
+/// the network.
+pub fn rank_filters(
+    net: &mut dyn Network,
+    split: &Split,
+    classes: usize,
+    method: StaticMethod,
+    batch_size: usize,
+    max_batches: usize,
+) -> FilterScores {
+    match method {
+        StaticMethod::L1 => l1_scores(net),
+        StaticMethod::GeometricMedian => gm_scores(net),
+        StaticMethod::Taylor => taylor_scores(net, split, batch_size, max_batches),
+        StaticMethod::FunctionalityOriented => {
+            fo_scores(net, split, classes, batch_size, max_batches)
+        }
+    }
+}
+
+fn l1_scores(net: &mut dyn Network) -> FilterScores {
+    let mut scores = FilterScores::new();
+    net.visit_tap_convs(&mut |tap, conv| {
+        let w = conv.weight().value.data();
+        let per_filter = w.len() / conv.out_channels();
+        let s = (0..conv.out_channels())
+            .map(|f| {
+                w[f * per_filter..(f + 1) * per_filter]
+                    .iter()
+                    .map(|x| x.abs())
+                    .sum()
+            })
+            .collect();
+        scores.insert(tap, s);
+    });
+    scores
+}
+
+fn gm_scores(net: &mut dyn Network) -> FilterScores {
+    let mut scores = FilterScores::new();
+    net.visit_tap_convs(&mut |tap, conv| {
+        let w = conv.weight().value.data();
+        let cout = conv.out_channels();
+        let per_filter = w.len() / cout;
+        let filters: Vec<&[f32]> = (0..cout)
+            .map(|f| &w[f * per_filter..(f + 1) * per_filter])
+            .collect();
+        let s = (0..cout)
+            .map(|i| {
+                (0..cout)
+                    .map(|j| {
+                        filters[i]
+                            .iter()
+                            .zip(filters[j])
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum::<f32>()
+                            .sqrt()
+                    })
+                    .sum()
+            })
+            .collect();
+        scores.insert(tap, s);
+    });
+    scores
+}
+
+fn taylor_scores(
+    net: &mut dyn Network,
+    split: &Split,
+    batch_size: usize,
+    max_batches: usize,
+) -> FilterScores {
+    // Accumulate |Σ W ⊙ dW| per filter over a few minibatches.
+    let mut acc: FilterScores = FilterScores::new();
+    let mut batches = 0;
+    for (images, labels) in BatchIter::new(split, batch_size, Some(0x7A97)) {
+        if batches >= max_batches {
+            break;
+        }
+        let logits = net.forward(&images, Mode::Train);
+        let out = softmax_cross_entropy(&logits, &labels);
+        net.zero_grad();
+        net.backward(&out.grad);
+        net.visit_tap_convs(&mut |tap, conv| {
+            let w = conv.weight().value.data();
+            let g = conv.weight().grad.data();
+            let cout = conv.out_channels();
+            let per_filter = w.len() / cout;
+            let entry = acc.entry(tap).or_insert_with(|| vec![0.0; cout]);
+            for (f, slot) in entry.iter_mut().enumerate() {
+                let dot: f32 = w[f * per_filter..(f + 1) * per_filter]
+                    .iter()
+                    .zip(&g[f * per_filter..(f + 1) * per_filter])
+                    .map(|(&wv, &gv)| wv * gv)
+                    .sum();
+                *slot += dot.abs();
+            }
+        });
+        batches += 1;
+    }
+    net.zero_grad();
+    acc
+}
+
+fn fo_scores(
+    net: &mut dyn Network,
+    split: &Split,
+    classes: usize,
+    batch_size: usize,
+    max_batches: usize,
+) -> FilterScores {
+    let mut recorder = ActivationRecorder::new(classes);
+    let mut batches = 0;
+    for (images, labels) in BatchIter::new(split, batch_size, Some(0xF0)) {
+        if batches >= max_batches {
+            break;
+        }
+        recorder.set_labels(&labels);
+        let _ = net.forward_hooked(&images, Mode::Eval, &mut recorder);
+        batches += 1;
+    }
+    let mut scores = FilterScores::new();
+    for tap in recorder.taps() {
+        let means = recorder
+            .class_means(tap)
+            .expect("tap observed during recording");
+        let c = means[0].len();
+        // Variance of class-conditional means per channel: high variance
+        // = class-discriminative = functional.
+        let s = (0..c)
+            .map(|ch| {
+                let vals: Vec<f32> = means.iter().map(|m| m[ch]).collect();
+                let mu = vals.iter().sum::<f32>() / vals.len() as f32;
+                vals.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / vals.len() as f32
+            })
+            .collect();
+        scores.insert(tap, s);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::SynthConfig;
+    use antidote_models::{Network, Vgg, VggConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net_and_data() -> (Vgg, antidote_data::SynthDataset) {
+        let data = SynthConfig::tiny(2, 8).generate();
+        let mut rng = SmallRng::seed_from_u64(51);
+        let net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        (net, data)
+    }
+
+    #[test]
+    fn every_method_scores_every_tap_and_filter() {
+        let (mut net, data) = net_and_data();
+        let n_taps = net.taps().len();
+        for method in StaticMethod::all() {
+            let scores = rank_filters(&mut net, &data.train, 2, method, 8, 2);
+            assert_eq!(scores.len(), n_taps, "{method:?} must score every tap");
+            for (tap, s) in &scores {
+                let expected_c = net.taps()[*tap].channels;
+                assert_eq!(s.len(), expected_c, "{method:?} tap {tap}");
+                assert!(s.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn l1_prefers_larger_filters() {
+        let (mut net, _) = net_and_data();
+        // Inflate filter 0 of the first conv.
+        let mut done = false;
+        net.visit_params_mut(&mut |p| {
+            if !done && p.value.dims().len() == 4 {
+                let per = p.value.len() / p.value.dims()[0];
+                for v in &mut p.value.data_mut()[0..per] {
+                    *v += 10.0;
+                }
+                done = true;
+            }
+        });
+        let scores = l1_scores(&mut net);
+        let s0 = &scores[&0];
+        assert!(s0[0] > s0[1] && s0[0] > s0[2]);
+    }
+
+    #[test]
+    fn gm_scores_are_symmetric_zero_for_identical_filters() {
+        let (mut net, _) = net_and_data();
+        // Make all filters of conv 0 identical: every GM distance is 0.
+        let mut done = false;
+        net.visit_params_mut(&mut |p| {
+            if !done && p.value.dims().len() == 4 {
+                let per = p.value.len() / p.value.dims()[0];
+                let first: Vec<f32> = p.value.data()[0..per].to_vec();
+                let cout = p.value.dims()[0];
+                for f in 1..cout {
+                    p.value.data_mut()[f * per..(f + 1) * per].copy_from_slice(&first);
+                }
+                done = true;
+            }
+        });
+        let scores = gm_scores(&mut net);
+        assert!(scores[&0].iter().all(|&s| s.abs() < 1e-5));
+    }
+
+    #[test]
+    fn taylor_scores_are_nonnegative_and_data_dependent() {
+        let (mut net, data) = net_and_data();
+        let scores = taylor_scores(&mut net, &data.train, 8, 2);
+        for s in scores.values() {
+            assert!(s.iter().all(|&v| v >= 0.0));
+        }
+        // At least one filter should have a nonzero score on real data.
+        assert!(scores.values().any(|s| s.iter().any(|&v| v > 0.0)));
+    }
+
+    #[test]
+    fn fo_scores_reward_class_discrimination() {
+        let (mut net, data) = net_and_data();
+        let scores = fo_scores(&mut net, &data.train, 2, 8, 3);
+        assert_eq!(scores.len(), net.taps().len());
+        for s in scores.values() {
+            assert!(s.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(StaticMethod::L1.name(), "L1 Pruning");
+        assert_eq!(StaticMethod::all().len(), 4);
+    }
+}

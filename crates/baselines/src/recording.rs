@@ -1,0 +1,174 @@
+//! Activation recording hook used by data-driven ranking methods
+//! (Taylor, Functionality-Oriented).
+
+use antidote_models::{FeatureHook, TapInfo};
+use antidote_nn::masked::FeatureMask;
+use antidote_nn::Mode;
+use antidote_tensor::reduce::spatial_mean_per_channel;
+use antidote_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Records per-tap, per-channel activation statistics over a data pass,
+/// optionally split by class (set the batch's labels with
+/// [`ActivationRecorder::set_labels`] before each forward).
+#[derive(Debug, Default)]
+pub struct ActivationRecorder {
+    labels: Vec<usize>,
+    classes: usize,
+    /// tap -> per-class per-channel activation sums, `(classes, C)` flat.
+    class_sums: BTreeMap<usize, Vec<f64>>,
+    /// tap -> per-class sample counts.
+    class_counts: BTreeMap<usize, Vec<u64>>,
+    /// tap -> channel count.
+    channels: BTreeMap<usize, usize>,
+}
+
+impl ActivationRecorder {
+    /// Creates a recorder for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        Self {
+            classes,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the labels of the *next* batch to be forwarded.
+    pub fn set_labels(&mut self, labels: &[usize]) {
+        self.labels = labels.to_vec();
+    }
+
+    /// Mean activation per channel for `tap`, pooled over all classes.
+    pub fn mean_activation(&self, tap: usize) -> Option<Vec<f32>> {
+        let sums = self.class_sums.get(&tap)?;
+        let counts = self.class_counts.get(&tap)?;
+        let c = *self.channels.get(&tap)?;
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut out = vec![0.0f32; c];
+        for class in 0..self.classes {
+            for (ch, o) in out.iter_mut().enumerate() {
+                *o += sums[class * c + ch] as f32;
+            }
+        }
+        for o in &mut out {
+            *o /= total as f32;
+        }
+        Some(out)
+    }
+
+    /// Per-class mean activation matrix `(classes, C)` for `tap`.
+    pub fn class_means(&self, tap: usize) -> Option<Vec<Vec<f32>>> {
+        let sums = self.class_sums.get(&tap)?;
+        let counts = self.class_counts.get(&tap)?;
+        let c = *self.channels.get(&tap)?;
+        Some(
+            (0..self.classes)
+                .map(|class| {
+                    let n = counts[class].max(1) as f32;
+                    (0..c).map(|ch| sums[class * c + ch] as f32 / n).collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Taps observed so far.
+    pub fn taps(&self) -> Vec<usize> {
+        self.channels.keys().copied().collect()
+    }
+}
+
+impl FeatureHook for ActivationRecorder {
+    fn on_feature(
+        &mut self,
+        tap: TapInfo,
+        feature: &Tensor,
+        _mode: Mode,
+    ) -> Option<Vec<FeatureMask>> {
+        let (n, c, _, _) = feature.shape().as_nchw().expect("tap feature must be NCHW");
+        assert_eq!(
+            self.labels.len(),
+            n,
+            "set_labels must be called with the batch's labels before forward"
+        );
+        let att = spatial_mean_per_channel(feature);
+        let sums = self
+            .class_sums
+            .entry(tap.id.0)
+            .or_insert_with(|| vec![0.0; self.classes * c]);
+        let counts = self
+            .class_counts
+            .entry(tap.id.0)
+            .or_insert_with(|| vec![0; self.classes]);
+        self.channels.insert(tap.id.0, c);
+        for (ni, &label) in self.labels.iter().enumerate() {
+            assert!(label < self.classes, "label out of range");
+            for ch in 0..c {
+                // Record magnitude: FO cares about response strength.
+                sums[label * c + ch] += att.data()[ni * c + ch].abs() as f64;
+            }
+            counts[label] += 1;
+        }
+        None // recording only; never masks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_models::TapId;
+
+    fn tap(id: usize, channels: usize) -> TapInfo {
+        TapInfo {
+            id: TapId(id),
+            block: 0,
+            channels,
+            spatial: 2,
+        }
+    }
+
+    #[test]
+    fn records_class_conditional_means() {
+        let mut rec = ActivationRecorder::new(2);
+        // item 0 (class 0): ch0 = 1, ch1 = 3; item 1 (class 1): ch0 = 5, ch1 = 7
+        let f = Tensor::from_vec(
+            vec![1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0, 7.0, 7.0, 7.0, 7.0],
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        rec.set_labels(&[0, 1]);
+        assert!(rec.on_feature(tap(0, 2), &f, Mode::Eval).is_none());
+        let means = rec.class_means(0).unwrap();
+        assert_eq!(means[0], vec![1.0, 3.0]);
+        assert_eq!(means[1], vec![5.0, 7.0]);
+        let pooled = rec.mean_activation(0).unwrap();
+        assert_eq!(pooled, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn accumulates_across_batches() {
+        let mut rec = ActivationRecorder::new(1);
+        let f = Tensor::full([1, 1, 2, 2], 2.0);
+        rec.set_labels(&[0]);
+        rec.on_feature(tap(0, 1), &f, Mode::Eval);
+        let g = Tensor::full([1, 1, 2, 2], 4.0);
+        rec.set_labels(&[0]);
+        rec.on_feature(tap(0, 1), &g, Mode::Eval);
+        assert_eq!(rec.mean_activation(0).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_labels")]
+    fn forgetting_labels_panics() {
+        let mut rec = ActivationRecorder::new(1);
+        let f = Tensor::zeros([2, 1, 2, 2]);
+        rec.on_feature(tap(0, 1), &f, Mode::Eval);
+    }
+
+    #[test]
+    fn unobserved_tap_is_none() {
+        let rec = ActivationRecorder::new(1);
+        assert!(rec.mean_activation(3).is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! E2 (Fig. 2) kernel bench: one dynamic-pruning evaluation pass per
+//! criterion (attention / random / inverse) on a briefly trained tiny
+//! VGG — measures the per-criterion masking overhead.
+
+use antidote_core::mask::Criterion as PruneCriterion;
+use antidote_core::trainer::{evaluate, train, TrainConfig};
+use antidote_core::{DynamicPruner, PruneSchedule};
+use antidote_data::SynthConfig;
+use antidote_models::{NoopHook, Vgg, VggConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_criteria(c: &mut Criterion) {
+    let data = SynthConfig::tiny(3, 16).with_samples(12, 8).generate();
+    let mut rng = SmallRng::seed_from_u64(0xF162);
+    let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(16, 3));
+    train(
+        &mut net,
+        &data,
+        &mut NoopHook,
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::fast_test()
+        },
+    );
+    let mut group = c.benchmark_group("fig2/eval_pass");
+    group.sample_size(10);
+    for (label, criterion) in [
+        ("attention", PruneCriterion::Attention),
+        ("random", PruneCriterion::Random),
+        ("inverse", PruneCriterion::InverseAttention),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut pruner = DynamicPruner::new(PruneSchedule::channel_only(vec![0.0, 0.5]))
+                    .with_criterion(criterion);
+                black_box(evaluate(&mut net, &data.test, &mut pruner, 8))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_criteria);
+criterion_main!(benches);

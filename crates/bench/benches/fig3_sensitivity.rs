@@ -1,0 +1,36 @@
+//! E3 (Fig. 3) kernel bench: a full block-sensitivity sweep (both blocks
+//! × 4 ratios) on a briefly trained tiny VGG.
+
+use antidote_core::analysis::block_sensitivity;
+use antidote_core::trainer::{train, TrainConfig};
+use antidote_data::SynthConfig;
+use antidote_models::{NoopHook, Vgg, VggConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let data = SynthConfig::tiny(3, 16).with_samples(12, 8).generate();
+    let mut rng = SmallRng::seed_from_u64(0xF133);
+    let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(16, 3));
+    train(
+        &mut net,
+        &data,
+        &mut NoopHook,
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::fast_test()
+        },
+    );
+    let ratios = [0.0, 0.3, 0.6, 0.9];
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("block_sensitivity_sweep", |b| {
+        b.iter(|| black_box(block_sensitivity(&mut net, &data.test, 2, &ratios, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

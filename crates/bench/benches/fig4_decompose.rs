@@ -1,0 +1,34 @@
+//! E4 (Fig. 4) kernel bench: channel/spatial redundancy decomposition on
+//! every paper-scale configuration.
+
+use antidote_core::flops::decompose;
+use antidote_core::settings::{proposed_settings, Workload};
+use antidote_models::{ResNetConfig, VggConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let settings = proposed_settings();
+    let shapes: Vec<_> = settings
+        .iter()
+        .map(|s| match s.workload {
+            Workload::Vgg16Cifar10 => VggConfig::vgg16(32, 10).conv_shapes(),
+            Workload::ResNet56Cifar10 => ResNetConfig::resnet56(32, 10).conv_shapes(),
+            Workload::Vgg16Cifar100 => VggConfig::vgg16(32, 100).conv_shapes(),
+            Workload::Vgg16ImageNet100 => VggConfig::vgg16(224, 100).conv_shapes(),
+        })
+        .collect();
+    c.bench_function("fig4/decompose_all_settings", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (setting, shape) in settings.iter().zip(&shapes) {
+                let comp = decompose(shape, &setting.schedule);
+                acc += comp.channel_pct + comp.spatial_pct + comp.combined_pct;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

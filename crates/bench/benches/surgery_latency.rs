@@ -1,0 +1,59 @@
+//! Deployment-artifact latency: dense VGG inference vs the physically
+//! shrunk network (static masks compiled away by filter surgery) vs
+//! dynamic attention masking through the masked executor.
+//!
+//! This quantifies the practical trade the paper discusses: static
+//! pruning yields a smaller *dense* network (fast, but input-agnostic);
+//! dynamic pruning keeps the full network and skips work per input.
+
+use antidote_models::{Network, NoopHook, Vgg, VggConfig};
+use antidote_nn::masked::MacCounter;
+use antidote_nn::Mode;
+use antidote_core::{DynamicPruner, PruneSchedule};
+use antidote_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_surgery(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0x5A6);
+    let mut net = Vgg::new(&mut rng, VggConfig::vgg_small(32, 10, 8));
+    let x = init::uniform(&mut rng, &[1, 3, 32, 32], -1.0, 1.0);
+
+    // Keep every other channel at every tap (a 50% static schedule).
+    let masks: BTreeMap<usize, Vec<bool>> = net
+        .taps()
+        .iter()
+        .map(|t| (t.id.0, (0..t.channels).map(|i| i % 2 == 0).collect()))
+        .collect();
+    let mut shrunk = net.shrink(&masks);
+    let schedule = PruneSchedule::channel_only(vec![0.5; 5]);
+
+    let mut group = c.benchmark_group("surgery/vgg_small_inference");
+    group.sample_size(10);
+    group.bench_function("dense_gemm", |b| {
+        b.iter(|| black_box(net.forward(&x, Mode::Eval)))
+    });
+    group.bench_function("shrunk_gemm_50pct", |b| {
+        b.iter(|| black_box(shrunk.forward(&x)))
+    });
+    group.bench_function("dynamic_masked_executor_50pct", |b| {
+        b.iter(|| {
+            let mut pruner = DynamicPruner::new(schedule.clone());
+            let mut counter = MacCounter::new();
+            black_box(net.forward_measured(&x, &mut pruner, &mut counter))
+        })
+    });
+    group.bench_function("dense_loop_executor", |b| {
+        b.iter(|| {
+            let mut counter = MacCounter::new();
+            black_box(net.forward_measured(&x, &mut NoopHook, &mut counter))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surgery);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E1 (Table I) kernel bench: analytic FLOPs evaluation over every
+//! proposed setting at paper scale, plus one measured-MAC inference of
+//! the repro-scale VGG, dense vs dynamically pruned.
+
+use antidote_bench::{ReproWorkload, Scale};
+use antidote_core::flops::analytic_flops;
+use antidote_core::settings::{proposed_settings, Workload};
+use antidote_core::{DynamicPruner, PruneSchedule};
+use antidote_models::{NoopHook, ResNetConfig, VggConfig};
+use antidote_nn::masked::MacCounter;
+use antidote_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    let settings = proposed_settings();
+    let shapes: Vec<_> = settings
+        .iter()
+        .map(|s| match s.workload {
+            Workload::Vgg16Cifar10 => VggConfig::vgg16(32, 10).conv_shapes(),
+            Workload::ResNet56Cifar10 => ResNetConfig::resnet56(32, 10).conv_shapes(),
+            Workload::Vgg16Cifar100 => VggConfig::vgg16(32, 100).conv_shapes(),
+            Workload::Vgg16ImageNet100 => VggConfig::vgg16(224, 100).conv_shapes(),
+        })
+        .collect();
+    c.bench_function("table1/analytic_flops_all_settings", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for (setting, shape) in settings.iter().zip(&shapes) {
+                total += analytic_flops(shape, &setting.schedule).reduction_pct();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_measured_inference(c: &mut Criterion) {
+    let rw = ReproWorkload::for_workload(Workload::Vgg16Cifar10, Scale::Quick);
+    let mut net = rw.build_network(0x7AB);
+    let x = Tensor::zeros([1, 3, rw.data.image_size, rw.data.image_size]);
+    let schedule = PruneSchedule::channel_only(vec![0.2, 0.2, 0.6, 0.9, 0.9]);
+
+    let mut group = c.benchmark_group("table1/vgg_inference");
+    group.sample_size(10);
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut counter = MacCounter::new();
+            black_box(net.forward_measured(&x, &mut NoopHook, &mut counter));
+            counter.total()
+        })
+    });
+    group.bench_function("dynamic_pruned", |b| {
+        b.iter(|| {
+            let mut pruner = DynamicPruner::new(schedule.clone());
+            let mut counter = MacCounter::new();
+            black_box(net.forward_measured(&x, &mut pruner, &mut counter));
+            counter.total()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_measured_inference);
+criterion_main!(benches);

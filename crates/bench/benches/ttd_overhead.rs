@@ -1,0 +1,57 @@
+//! E6: training-time overhead of TTD's targeted dropout — one epoch of
+//! plain training vs one epoch with the targeted-dropout hook active.
+//! The paper argues TTD replaces post-hoc fine-tuning; this bench
+//! quantifies what the hook costs per epoch.
+
+use antidote_core::trainer::train_epoch;
+use antidote_core::{DynamicPruner, PruneSchedule};
+use antidote_data::SynthConfig;
+use antidote_models::{NoopHook, Vgg, VggConfig};
+use antidote_nn::optim::Sgd;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ttd_overhead(c: &mut Criterion) {
+    let data = SynthConfig::tiny(3, 16).with_samples(8, 4).generate();
+    let mut group = c.benchmark_group("ttd/one_epoch");
+    group.sample_size(10);
+    group.bench_function("plain", |b| {
+        let mut rng = SmallRng::seed_from_u64(0x77D0);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(16, 3));
+        let mut sgd = Sgd::new(0.01).with_momentum(0.9);
+        b.iter(|| {
+            black_box(train_epoch(
+                &mut net,
+                &data.train,
+                &mut NoopHook,
+                &mut sgd,
+                None,
+                8,
+                1,
+            ))
+        })
+    });
+    group.bench_function("targeted_dropout", |b| {
+        let mut rng = SmallRng::seed_from_u64(0x77D0);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(16, 3));
+        let mut sgd = Sgd::new(0.01).with_momentum(0.9);
+        let mut pruner = DynamicPruner::new(PruneSchedule::new(vec![0.3, 0.5], vec![0.3, 0.0]));
+        b.iter(|| {
+            black_box(train_epoch(
+                &mut net,
+                &data.train,
+                &mut pruner,
+                &mut sgd,
+                None,
+                8,
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttd_overhead);
+criterion_main!(benches);

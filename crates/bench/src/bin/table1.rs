@@ -1,0 +1,80 @@
+//! Regenerates **Table I** of the AntiDote paper: FLOPs reduction and
+//! accuracy for the four static baselines and the proposed dynamic
+//! method, on all four model/dataset sections.
+//!
+//! Usage: `cargo run -p antidote-bench --bin table1 --release`
+//! (`ANTIDOTE_SCALE=full` for the larger configuration).
+
+use antidote_bench::{run_table1_workload, ReproWorkload, Scale};
+use antidote_core::report::ExperimentReport;
+use antidote_core::settings::{proposed_settings, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== AntiDote reproduction: Table I (scale {scale:?}) ==\n");
+    println!(
+        "{:<22} {:<22} {:>9} {:>9} {:>7} | {:>14} {:>14} {:>8} | paper",
+        "Model (dataset)",
+        "Method",
+        "base%",
+        "final%",
+        "drop%",
+        "base FLOPs",
+        "final FLOPs",
+        "red.%"
+    );
+    let all_settings = proposed_settings();
+    let mut report = ExperimentReport::new("table1");
+    report.notes.push(
+        "Datasets are procedural synthetic stand-ins (DESIGN.md §2); accuracies are repro-scale, \
+         FLOPs columns are analytic at the paper's full scale; measured-MAC cross-checks in notes."
+            .into(),
+    );
+    // Optional filter: ANTIDOTE_WORKLOAD=vgg16_cifar10 | resnet56_cifar10
+    //                   | vgg16_cifar100 | vgg16_imagenet100
+    let filter = std::env::var("ANTIDOTE_WORKLOAD").ok();
+    for workload in Workload::all() {
+        if let Some(f) = &filter {
+            let key = match workload {
+                Workload::Vgg16Cifar10 => "vgg16_cifar10",
+                Workload::ResNet56Cifar10 => "resnet56_cifar10",
+                Workload::Vgg16Cifar100 => "vgg16_cifar100",
+                Workload::Vgg16ImageNet100 => "vgg16_imagenet100",
+            };
+            if key != f {
+                continue;
+            }
+        }
+        let rw = ReproWorkload::for_workload(workload, scale);
+        let settings: Vec<_> = all_settings
+            .iter()
+            .filter(|s| s.workload == workload)
+            .cloned()
+            .collect();
+        let result = run_table1_workload(&rw, &settings, 0xAB1E);
+        for row in &result.rows {
+            println!(
+                "{:<22} {:<22} {:>8.2} {:>8.2} {:>+7.2} | {:>14.3e} {:>14.3e} {:>7.1}% | -{:.1}% drop {:+.1}%",
+                row.workload,
+                row.method,
+                row.baseline_acc_pct,
+                row.final_acc_pct,
+                row.accuracy_drop_pct(),
+                row.baseline_flops,
+                row.final_flops,
+                row.flops_reduction_pct,
+                row.paper_reduction_pct,
+                row.paper_accuracy_drop_pct,
+            );
+        }
+        println!();
+        for note in &result.notes {
+            println!("  note: {note}");
+        }
+        println!();
+        report.rows.extend(result.rows);
+        report.notes.extend(result.notes);
+    }
+    antidote_bench::write_report(&report, "table1");
+    println!("report written to results/table1.json");
+}

@@ -1,0 +1,31 @@
+//! # antidote-bench
+//!
+//! The experiment harness of the AntiDote reproduction. Each artifact of
+//! the paper's evaluation has a regenerating binary:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table I (all four sections) | `cargo run -p antidote-bench --bin table1 --release` |
+//! | Fig. 2 (attention vs random vs inverse) | `… --bin fig2 --release` |
+//! | Fig. 3 (block sensitivity) | `… --bin fig3 --release` |
+//! | Fig. 4 (redundancy composition) | `… --bin fig4 --release` |
+//! | Sec. IV-B ratio ascent behaviour | `… --bin ttd_ascent --release` |
+//!
+//! plus Criterion kernel benches (`cargo bench -p antidote-bench`):
+//! `masked_conv`, `table1_flops`, `fig2_criteria`, `fig3_sensitivity`,
+//! `fig4_decompose`, `ttd_overhead`.
+//!
+//! Set `ANTIDOTE_SCALE=full` for larger datasets/epochs (defaults to a
+//! minutes-level `quick` scale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod workloads;
+
+pub use harness::{
+    restore_params, run_table1_workload, snapshot_params, static_schedule_for, write_report,
+    WorkloadResult,
+};
+pub use workloads::{ModelKind, ReproWorkload, Scale};

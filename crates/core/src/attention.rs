@@ -1,0 +1,109 @@
+//! Attention coefficients (Eq. 1 and Eq. 2 of the paper).
+//!
+//! Channel attention averages each channel over its spatial extent
+//! (global average pooling); spatial attention averages each spatial
+//! column over the channel depth. The paper uses the mean statistic; a
+//! max-pooling variant is provided as an ablation (`DESIGN.md` §6).
+
+use antidote_tensor::{reduce, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Which statistic aggregates the feature map into attention
+/// coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Statistic {
+    /// Arithmetic mean — Eq. (1)/(2) of the paper.
+    #[default]
+    Mean,
+    /// Maximum — the CBAM-style ablation variant.
+    Max,
+}
+
+/// Channel attention `A_channel(F)` for an `(N, C, H, W)` feature map:
+/// one coefficient per channel per batch item, shape `(N, C)`.
+///
+/// # Panics
+///
+/// Panics if `feature` is not rank 4.
+///
+/// # Examples
+///
+/// ```
+/// use antidote_core::attention::{channel_attention, Statistic};
+/// use antidote_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = Tensor::from_vec(vec![1.0, 3.0, 0.0, 0.0], &[1, 2, 1, 2])?;
+/// let a = channel_attention(&f, Statistic::Mean);
+/// assert_eq!(a.data(), &[2.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn channel_attention(feature: &Tensor, statistic: Statistic) -> Tensor {
+    match statistic {
+        Statistic::Mean => reduce::spatial_mean_per_channel(feature),
+        Statistic::Max => reduce::spatial_max_per_channel(feature),
+    }
+}
+
+/// Spatial attention `A_spatial(F)` for an `(N, C, H, W)` feature map:
+/// one coefficient per spatial column per batch item, shape `(N, H, W)`
+/// (the paper's "attention heat map").
+///
+/// # Panics
+///
+/// Panics if `feature` is not rank 4.
+pub fn spatial_attention(feature: &Tensor, statistic: Statistic) -> Tensor {
+    match statistic {
+        Statistic::Mean => reduce::channel_mean_per_position(feature),
+        Statistic::Max => reduce::channel_max_per_position(feature),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature() -> Tensor {
+        // (2, 2, 2, 2) with distinct per-item structure.
+        Tensor::from_fn([2, 2, 2, 2], |i| i as f32)
+    }
+
+    #[test]
+    fn channel_attention_is_gap() {
+        let a = channel_attention(&feature(), Statistic::Mean);
+        assert_eq!(a.dims(), &[2, 2]);
+        assert_eq!(a.data(), &[1.5, 5.5, 9.5, 13.5]);
+    }
+
+    #[test]
+    fn spatial_attention_is_channel_mean() {
+        let a = spatial_attention(&feature(), Statistic::Mean);
+        assert_eq!(a.dims(), &[2, 2, 2]);
+        // item 0 position (0,0): mean(0, 4) = 2
+        assert_eq!(a.at(&[0, 0, 0]), 2.0);
+    }
+
+    #[test]
+    fn max_statistic_dominates_mean() {
+        let f = feature();
+        let mean = channel_attention(&f, Statistic::Mean);
+        let max = channel_attention(&f, Statistic::Max);
+        for (m, x) in mean.data().iter().zip(max.data()) {
+            assert!(x >= m);
+        }
+    }
+
+    #[test]
+    fn attention_is_per_input() {
+        // Different batch items must get different coefficients when their
+        // activations differ — the core premise of *dynamic* pruning.
+        let a = channel_attention(&feature(), Statistic::Mean);
+        assert_ne!(a.at(&[0, 0]), a.at(&[1, 0]));
+    }
+
+    #[test]
+    fn default_statistic_is_mean() {
+        assert_eq!(Statistic::default(), Statistic::Mean);
+    }
+}

@@ -1,0 +1,208 @@
+//! Weight checkpointing: save and restore a network's trainable
+//! parameters as JSON.
+//!
+//! TTD training at `full` scale takes CPU-minutes; checkpoints let the
+//! experiment binaries reuse trained weights across runs and let users
+//! ship trained models with the crate.
+
+use antidote_models::Network;
+use antidote_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// A serialized set of network parameters plus a structural fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Network description at save time (structural sanity check).
+    pub architecture: String,
+    /// Parameter tensors in visit order.
+    pub params: Vec<Tensor>,
+}
+
+/// Error raised when loading a checkpoint into an incompatible network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadCheckpointError {
+    /// Parameter count differs from the target network.
+    ParamCountMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters in the network.
+        network: usize,
+    },
+    /// A parameter's shape differs.
+    ShapeMismatch {
+        /// Index of the offending parameter (visit order).
+        index: usize,
+    },
+}
+
+impl fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCheckpointError::ParamCountMismatch {
+                checkpoint,
+                network,
+            } => write!(
+                f,
+                "checkpoint has {checkpoint} parameters but network has {network}"
+            ),
+            LoadCheckpointError::ShapeMismatch { index } => {
+                write!(f, "parameter {index} has a different shape")
+            }
+        }
+    }
+}
+
+impl Error for LoadCheckpointError {}
+
+impl Checkpoint {
+    /// Captures the current parameters of `net`.
+    pub fn capture(net: &mut dyn Network) -> Self {
+        let mut params = Vec::new();
+        net.visit_params_mut(&mut |p| params.push(p.value.clone()));
+        Self {
+            architecture: net.describe(),
+            params,
+        }
+    }
+
+    /// Restores the captured parameters into `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadCheckpointError`] if the parameter count or any
+    /// shape differs; the network is left unchanged in that case.
+    pub fn restore(&self, net: &mut dyn Network) -> Result<(), LoadCheckpointError> {
+        // Validate first so a failed restore cannot half-apply.
+        let mut shapes = Vec::new();
+        net.visit_params_mut(&mut |p| shapes.push(p.value.dims().to_vec()));
+        if shapes.len() != self.params.len() {
+            return Err(LoadCheckpointError::ParamCountMismatch {
+                checkpoint: self.params.len(),
+                network: shapes.len(),
+            });
+        }
+        for (index, (shape, param)) in shapes.iter().zip(&self.params).enumerate() {
+            if shape != param.dims() {
+                return Err(LoadCheckpointError::ShapeMismatch { index });
+            }
+        }
+        let mut i = 0;
+        net.visit_params_mut(&mut |p| {
+            p.value = self.params[i].clone();
+            p.zero_grad();
+            i += 1;
+        });
+        Ok(())
+    }
+
+    /// Saves as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("checkpoint serialization cannot fail");
+        std::fs::write(path, json)
+    }
+
+    /// Loads from a JSON file written by [`Checkpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files or a serde error
+    /// (wrapped in `io::Error`) for malformed content.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_models::{ResNet, ResNetConfig, Vgg, VggConfig};
+    use antidote_nn::Mode;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(81);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let x = antidote_tensor::Tensor::from_fn([1, 3, 8, 8], |i| (i as f32 * 0.01).sin());
+        let before = net.forward(&x, Mode::Eval);
+        let ckpt = Checkpoint::capture(net.as_mut_network());
+
+        // Perturb, then restore.
+        net.visit_params_mut(&mut |p| {
+            for v in p.value.data_mut() {
+                *v += 0.5;
+            }
+        });
+        assert!(!net.forward(&x, Mode::Eval).allclose(&before, 1e-6));
+        ckpt.restore(net.as_mut_network()).unwrap();
+        assert!(net.forward(&x, Mode::Eval).allclose(&before, 1e-6));
+    }
+
+    // Helper so tests can pass &mut Vgg as &mut dyn Network ergonomically.
+    trait AsMutNetwork {
+        fn as_mut_network(&mut self) -> &mut dyn Network;
+    }
+    impl<T: Network> AsMutNetwork for T {
+        fn as_mut_network(&mut self) -> &mut dyn Network {
+            self
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_architecture() {
+        let mut rng = SmallRng::seed_from_u64(82);
+        let mut vgg = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let ckpt = Checkpoint::capture(vgg.as_mut_network());
+        let mut other = ResNet::new(&mut rng, ResNetConfig::resnet_small(8, 2, 4));
+        let err = ckpt.restore(other.as_mut_network()).unwrap_err();
+        assert!(matches!(
+            err,
+            LoadCheckpointError::ParamCountMismatch { .. }
+                | LoadCheckpointError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn failed_restore_leaves_network_unchanged() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let mut a = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let mut b = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3)); // 3 classes
+        let x = antidote_tensor::Tensor::zeros([1, 3, 8, 8]);
+        let before = b.forward(&x, Mode::Eval);
+        let ckpt = Checkpoint::capture(a.as_mut_network());
+        assert!(ckpt.restore(b.as_mut_network()).is_err());
+        assert!(b.forward(&x, Mode::Eval).allclose(&before, 0.0));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(84);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let ckpt = Checkpoint::capture(net.as_mut_network());
+        let dir = std::env::temp_dir().join("antidote_ckpt_test.json");
+        ckpt.save(&dir).unwrap();
+        let loaded = Checkpoint::load(&dir).unwrap();
+        assert_eq!(loaded, ckpt);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LoadCheckpointError::ParamCountMismatch {
+            checkpoint: 2,
+            network: 3,
+        };
+        assert!(e.to_string().contains("2"));
+        let e = LoadCheckpointError::ShapeMismatch { index: 5 };
+        assert!(e.to_string().contains("5"));
+    }
+}

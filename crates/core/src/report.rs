@@ -1,0 +1,138 @@
+//! Experiment records: serializable paper-vs-measured result rows.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a reproduced experiment table, pairing the paper's number
+/// with ours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment id (e.g. `"table1"`, `"fig2"`).
+    pub experiment: String,
+    /// Workload label (model/dataset).
+    pub workload: String,
+    /// Method label.
+    pub method: String,
+    /// Baseline (unpruned) accuracy, percent.
+    pub baseline_acc_pct: f64,
+    /// Final (pruned) accuracy, percent.
+    pub final_acc_pct: f64,
+    /// Baseline FLOPs (MACs).
+    pub baseline_flops: f64,
+    /// Final FLOPs (MACs).
+    pub final_flops: f64,
+    /// FLOPs reduction, percent.
+    pub flops_reduction_pct: f64,
+    /// The paper's reported FLOPs reduction, percent (NaN when the paper
+    /// reports none for this row).
+    pub paper_reduction_pct: f64,
+    /// The paper's reported accuracy drop, percent.
+    pub paper_accuracy_drop_pct: f64,
+}
+
+impl ExperimentRow {
+    /// Accuracy drop (baseline − final), percent.
+    pub fn accuracy_drop_pct(&self) -> f64 {
+        self.baseline_acc_pct - self.final_acc_pct
+    }
+
+    /// Formats the row like a Table I line.
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "{:<22} {:<22} base_acc={:6.2}%  final_acc={:6.2}%  drop={:+6.2}%  FLOPs {:>12.3e} -> {:>12.3e}  (-{:5.1}%)  [paper: -{:.1}%, drop {:+.1}%]",
+            self.workload,
+            self.method,
+            self.baseline_acc_pct,
+            self.final_acc_pct,
+            self.accuracy_drop_pct(),
+            self.baseline_flops,
+            self.final_flops,
+            self.flops_reduction_pct,
+            self.paper_reduction_pct,
+            self.paper_accuracy_drop_pct,
+        )
+    }
+}
+
+/// A complete experiment report (rows plus free-form notes), serializable
+/// to JSON for `EXPERIMENTS.md` generation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id.
+    pub experiment: String,
+    /// Result rows.
+    pub rows: Vec<ExperimentRow>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the type contains no non-serializable
+    /// values.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ExperimentRow {
+        ExperimentRow {
+            experiment: "table1".into(),
+            workload: "VGG16 (CIFAR10)".into(),
+            method: "Proposed".into(),
+            baseline_acc_pct: 93.3,
+            final_acc_pct: 93.1,
+            baseline_flops: 3.13e8,
+            final_flops: 1.46e8,
+            flops_reduction_pct: 53.5,
+            paper_reduction_pct: 53.5,
+            paper_accuracy_drop_pct: 0.2,
+        }
+    }
+
+    #[test]
+    fn accuracy_drop() {
+        assert!((row().accuracy_drop_pct() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut report = ExperimentReport::new("table1");
+        report.rows.push(row());
+        report.notes.push("synthetic data substitution".into());
+        let json = report.to_json();
+        let back = ExperimentReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn table_line_contains_key_fields() {
+        let line = row().to_table_line();
+        assert!(line.contains("VGG16"));
+        assert!(line.contains("Proposed"));
+        assert!(line.contains("53.5"));
+    }
+}

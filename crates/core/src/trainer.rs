@@ -1,0 +1,252 @@
+//! Shared training/evaluation loops (used by TTD, the baselines and the
+//! experiment harness).
+
+use antidote_data::{Augmentation, BatchIter, Split, SynthDataset};
+use antidote_models::{FeatureHook, Network, NoopHook};
+use antidote_nn::loss::{accuracy, softmax_cross_entropy};
+use antidote_nn::masked::MacCounter;
+use antidote_nn::optim::{CosineAnnealing, LrSchedule, Sgd};
+use antidote_nn::Mode;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Peak learning rate of the cosine schedule (paper: 0.1 → 0).
+    pub lr_max: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Whether to apply flip/crop augmentation (paper's CIFAR pipeline).
+    pub augment: bool,
+    /// Seed for shuffling/augmentation.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            lr_max: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            augment: true,
+            seed: 1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A fast configuration for unit tests.
+    pub fn fast_test() -> Self {
+        Self {
+            epochs: 3,
+            batch_size: 16,
+            lr_max: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            augment: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Statistics of one completed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Training accuracy.
+    pub train_acc: f32,
+    /// Learning rate used.
+    pub lr: f32,
+}
+
+/// History of a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainHistory {
+    /// Per-epoch statistics, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Final training accuracy (0.0 when no epochs ran).
+    pub fn final_train_acc(&self) -> f32 {
+        self.epochs.last().map_or(0.0, |e| e.train_acc)
+    }
+
+    /// Final training loss (+inf when no epochs ran).
+    pub fn final_train_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::INFINITY, |e| e.train_loss)
+    }
+}
+
+/// Trains `net` on `data.train` with the hook active at every tap (pass
+/// [`NoopHook`] for plain training), using SGD + cosine decay per the
+/// paper's setup.
+pub fn train(
+    net: &mut dyn Network,
+    data: &SynthDataset,
+    hook: &mut dyn FeatureHook,
+    cfg: &TrainConfig,
+) -> TrainHistory {
+    let mut sgd = Sgd::new(cfg.lr_max)
+        .with_momentum(cfg.momentum)
+        .with_weight_decay(cfg.weight_decay);
+    let schedule = CosineAnnealing {
+        lr_max: cfg.lr_max,
+        lr_min: 0.0,
+        total_epochs: cfg.epochs,
+    };
+    let mut aug = cfg
+        .augment
+        .then(|| Augmentation::paper_default(data.config.image_size, cfg.seed));
+    let mut history = TrainHistory::default();
+    for epoch in 0..cfg.epochs {
+        let lr = schedule.lr_at(epoch);
+        sgd.set_lr(lr);
+        let (loss, acc) = train_epoch(
+            net,
+            &data.train,
+            hook,
+            &mut sgd,
+            aug.as_mut(),
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+        );
+        history.epochs.push(EpochStats {
+            epoch,
+            train_loss: loss,
+            train_acc: acc,
+            lr,
+        });
+    }
+    history
+}
+
+/// Runs one epoch; returns `(mean loss, accuracy)`.
+pub fn train_epoch(
+    net: &mut dyn Network,
+    split: &Split,
+    hook: &mut dyn FeatureHook,
+    sgd: &mut Sgd,
+    mut aug: Option<&mut Augmentation>,
+    batch_size: usize,
+    shuffle_seed: u64,
+) -> (f32, f32) {
+    let mut total_loss = 0.0f64;
+    let mut total_correct = 0.0f64;
+    let mut total = 0usize;
+    for (images, labels) in BatchIter::new(split, batch_size, Some(shuffle_seed)) {
+        let images = match aug.as_deref_mut() {
+            Some(a) => a.apply(&images),
+            None => images,
+        };
+        let logits = net.forward_hooked(&images, Mode::Train, hook);
+        let out = softmax_cross_entropy(&logits, &labels);
+        net.zero_grad();
+        net.backward(&out.grad);
+        sgd.begin_step();
+        net.visit_params_mut(&mut |p| sgd.update(p));
+        total_loss += out.loss as f64 * labels.len() as f64;
+        total_correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
+        total += labels.len();
+    }
+    (
+        (total_loss / total as f64) as f32,
+        (total_correct / total as f64) as f32,
+    )
+}
+
+/// Evaluates accuracy on `split` with the hook active (dynamic pruning
+/// applied via mask-multiplication).
+pub fn evaluate(
+    net: &mut dyn Network,
+    split: &Split,
+    hook: &mut dyn FeatureHook,
+    batch_size: usize,
+) -> f32 {
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    for (images, labels) in BatchIter::new(split, batch_size, None) {
+        let logits = net.forward_hooked(&images, Mode::Eval, hook);
+        correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
+        total += labels.len();
+    }
+    (correct / total as f64) as f32
+}
+
+/// Evaluates accuracy on `split` without any pruning.
+pub fn evaluate_plain(net: &mut dyn Network, split: &Split, batch_size: usize) -> f32 {
+    evaluate(net, split, &mut NoopHook, batch_size)
+}
+
+/// Evaluates through the masked executor, returning `(accuracy,
+/// mean MACs per image)` — the *measured* FLOPs path.
+pub fn evaluate_measured(
+    net: &mut dyn Network,
+    split: &Split,
+    hook: &mut dyn FeatureHook,
+    batch_size: usize,
+) -> (f32, f64) {
+    let mut counter = MacCounter::new();
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    for (images, labels) in BatchIter::new(split, batch_size, None) {
+        let logits = net.forward_measured(&images, hook, &mut counter);
+        correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
+        total += labels.len();
+    }
+    (
+        (correct / total as f64) as f32,
+        counter.total() as f64 / total as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_data::SynthConfig;
+    use antidote_models::{Vgg, VggConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let data = SynthConfig::tiny(3, 8).with_samples(24, 8).generate();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3));
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..TrainConfig::fast_test()
+        };
+        let history = train(&mut net, &data, &mut NoopHook, &cfg);
+        assert!(history.epochs.len() == 8);
+        assert!(
+            history.final_train_loss() < history.epochs[0].train_loss,
+            "loss should decrease: {:?}",
+            history.epochs
+        );
+        let acc = evaluate_plain(&mut net, &data.test, 16);
+        assert!(acc > 0.34, "test accuracy {acc} should beat chance (1/3)");
+    }
+
+    #[test]
+    fn measured_eval_agrees_with_plain_eval_when_unpruned() {
+        let data = SynthConfig::tiny(2, 8).generate();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let plain = evaluate_plain(&mut net, &data.test, 8);
+        let (measured, macs) = evaluate_measured(&mut net, &data.test, &mut NoopHook, 8);
+        assert!((plain - measured).abs() < 1e-6);
+        assert!(macs > 0.0);
+    }
+}

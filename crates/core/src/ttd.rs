@@ -1,0 +1,275 @@
+//! TTD — Training with Targeted Dropout (Sec. IV of the paper).
+//!
+//! A targeted-dropout "layer" is the [`DynamicPruner`] used as a training
+//! hook: after every conv, the currently least-attended channels/columns
+//! are dropped (multiplied by the binary mask, Eq. 5), so the model
+//! gradually stops depending on them. The dropout ratio follows the
+//! paper's *ratio ascent*: start from a warm-up ratio, and step the
+//! per-block ratios toward their targets once training has settled at the
+//! current ratio (Sec. IV-B).
+
+use crate::pruner::{DynamicPruner, PruneSchedule};
+use crate::trainer::{train_epoch, EpochStats, TrainConfig, TrainHistory};
+use antidote_data::{Augmentation, SynthDataset};
+use antidote_models::Network;
+use antidote_nn::optim::{CosineAnnealing, LrSchedule, Sgd};
+use serde::{Deserialize, Serialize};
+
+/// The dropout-ratio ascent policy of Sec. IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioAscent {
+    /// Warm-up prune-ratio ceiling applied to every block at epoch 0
+    /// (paper example: 0.1).
+    pub warmup: f64,
+    /// Ceiling increment per ascent step (paper example: 0.05).
+    pub step: f64,
+    /// Minimum epochs to spend at each ceiling before ascending — the
+    /// "after the model converges during the current ratio" rule,
+    /// simplified to a dwell time plus a loss-regression guard.
+    pub epochs_per_step: usize,
+}
+
+impl Default for RatioAscent {
+    fn default() -> Self {
+        Self {
+            warmup: 0.1,
+            step: 0.05,
+            epochs_per_step: 1,
+        }
+    }
+}
+
+/// Configuration for a TTD training run.
+#[derive(Debug, Clone)]
+pub struct TtdConfig {
+    /// Target per-block prune ratios (the upper bounds from the block
+    /// sensitivity analysis).
+    pub target: PruneSchedule,
+    /// Ratio ascent policy; `None` trains at the full target ratio from
+    /// epoch 0 (the ablation in `DESIGN.md` §6).
+    pub ascent: Option<RatioAscent>,
+    /// Underlying SGD/epoch configuration.
+    pub train: TrainConfig,
+}
+
+impl TtdConfig {
+    /// Paper-default TTD toward `target` over `epochs` epochs.
+    ///
+    /// The ascent step is *paced* so the ceiling reaches the largest
+    /// target ratio by roughly 60 % of the run (the paper trains "until
+    /// the target pruning ratio … is achieved"; with a fixed 0.05 step
+    /// and few epochs the target would never be reached and test-time
+    /// pruning would exceed anything seen in training).
+    pub fn new(target: PruneSchedule, epochs: usize) -> Self {
+        let max_target = target
+            .channel_prune()
+            .iter()
+            .chain(target.spatial_prune())
+            .fold(0.0f64, |a, &b| a.max(b));
+        let warmup = 0.1f64.min(max_target);
+        let ascent_epochs = (epochs as f64 * 0.6).max(1.0);
+        let step = ((max_target - warmup) / ascent_epochs).max(0.05);
+        Self {
+            target,
+            ascent: Some(RatioAscent {
+                warmup,
+                step,
+                epochs_per_step: 1,
+            }),
+            train: TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// Disables ratio ascent (fixed-ratio ablation).
+    pub fn without_ascent(mut self) -> Self {
+        self.ascent = None;
+        self
+    }
+}
+
+/// Outcome of a TTD run: the training history plus the ratio-ceiling
+/// trace and the pruner (already configured at the final target) for
+/// test-time dynamic pruning.
+#[derive(Debug)]
+pub struct TtdOutcome {
+    /// Per-epoch training statistics.
+    pub history: TrainHistory,
+    /// `(epoch, ratio ceiling)` pairs, one per epoch.
+    pub ratio_trace: Vec<(usize, f64)>,
+    /// The pruner at the final schedule — "the model is then
+    /// fully-prepared for dynamic pruning with the same ratio during test
+    /// inference" (Sec. IV-B), no further fine-tuning required.
+    pub pruner: DynamicPruner,
+}
+
+/// Runs TTD training: standard SGD + cosine decay, with the targeted
+/// dropout hook active at every tap and its ratios ascending toward the
+/// target schedule.
+pub fn train_ttd(net: &mut dyn Network, data: &SynthDataset, cfg: &TtdConfig) -> TtdOutcome {
+    let max_target = cfg
+        .target
+        .channel_prune()
+        .iter()
+        .chain(cfg.target.spatial_prune())
+        .fold(0.0f64, |a, &b| a.max(b));
+    let mut sgd = Sgd::new(cfg.train.lr_max)
+        .with_momentum(cfg.train.momentum)
+        .with_weight_decay(cfg.train.weight_decay);
+    let schedule = CosineAnnealing {
+        lr_max: cfg.train.lr_max,
+        lr_min: 0.0,
+        total_epochs: cfg.train.epochs,
+    };
+    let mut aug = cfg
+        .train
+        .augment
+        .then(|| Augmentation::paper_default(data.config.image_size, cfg.train.seed));
+    let mut pruner = DynamicPruner::new(match &cfg.ascent {
+        Some(a) => cfg.target.capped(a.warmup),
+        None => cfg.target.clone(),
+    });
+    let mut history = TrainHistory::default();
+    let mut ratio_trace = Vec::new();
+    let mut cap = cfg.ascent.map_or(max_target, |a| a.warmup);
+    let mut epochs_at_cap = 0usize;
+    let mut prev_loss = f32::INFINITY;
+
+    for epoch in 0..cfg.train.epochs {
+        if let Some(ascent) = &cfg.ascent {
+            // Ascend once we've dwelt long enough at this ceiling and the
+            // loss is not regressing (the convergence proxy).
+            if cap < max_target
+                && epochs_at_cap >= ascent.epochs_per_step
+                && history
+                    .epochs
+                    .last()
+                    .map_or(true, |e| e.train_loss <= prev_loss * 1.10)
+            {
+                cap = (cap + ascent.step).min(max_target);
+                epochs_at_cap = 0;
+            }
+            pruner.set_schedule(cfg.target.capped(cap));
+        }
+        ratio_trace.push((epoch, cap));
+        prev_loss = history.final_train_loss();
+        sgd.set_lr(schedule.lr_at(epoch));
+        let (loss, acc) = train_epoch(
+            net,
+            &data.train,
+            &mut pruner,
+            &mut sgd,
+            aug.as_mut(),
+            cfg.train.batch_size,
+            cfg.train.seed.wrapping_add(epoch as u64),
+        );
+        history.epochs.push(EpochStats {
+            epoch,
+            train_loss: loss,
+            train_acc: acc,
+            lr: schedule.lr_at(epoch),
+        });
+        epochs_at_cap += 1;
+    }
+    // Leave the pruner at the exact target for test-time pruning.
+    pruner.set_schedule(cfg.target.clone());
+    pruner.reset_stats();
+    TtdOutcome {
+        history,
+        ratio_trace,
+        pruner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{evaluate, evaluate_plain};
+    use antidote_data::SynthConfig;
+    use antidote_models::{Vgg, VggConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_ascent_reaches_target() {
+        let data = SynthConfig::tiny(2, 8).with_samples(8, 4).generate();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let target = PruneSchedule::new(vec![0.2, 0.5], vec![]);
+        let mut cfg = TtdConfig::new(target, 12);
+        cfg.train = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::fast_test()
+        };
+        let outcome = train_ttd(&mut net, &data, &cfg);
+        assert_eq!(outcome.ratio_trace.len(), 12);
+        // Monotone non-decreasing ceiling ending at the max target.
+        for w in outcome.ratio_trace.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((outcome.ratio_trace.last().unwrap().1 - 0.5).abs() < 1e-9);
+        // Final pruner carries the exact target.
+        assert_eq!(outcome.pruner.schedule().channel_prune(), &[0.2, 0.5]);
+    }
+
+    #[test]
+    fn ttd_model_tolerates_dynamic_pruning_better_than_plain() {
+        // The headline claim of Sec. IV: a TTD-trained model keeps its
+        // accuracy under dynamic pruning much better than an identically
+        // trained plain model.
+        let data = SynthConfig::tiny(3, 8).with_samples(30, 10).generate();
+        let target = PruneSchedule::new(vec![0.5, 0.5], vec![]);
+        let epochs = 10;
+
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut plain_net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3));
+        let mut rng2 = SmallRng::seed_from_u64(33);
+        let mut ttd_net = Vgg::new(&mut rng2, VggConfig::vgg_tiny(8, 3));
+
+        // Plain training.
+        let train_cfg = TrainConfig {
+            epochs,
+            ..TrainConfig::fast_test()
+        };
+        crate::trainer::train(
+            &mut plain_net,
+            &data,
+            &mut antidote_models::NoopHook,
+            &train_cfg,
+        );
+        // TTD training toward the same target.
+        let mut cfg = TtdConfig::new(target.clone(), epochs);
+        cfg.train = train_cfg;
+        let outcome = train_ttd(&mut ttd_net, &data, &cfg);
+
+        let mut pruner = DynamicPruner::new(target.clone());
+        let plain_unpruned = evaluate_plain(&mut plain_net, &data.test, 16);
+        let plain_pruned = evaluate(&mut plain_net, &data.test, &mut pruner, 16);
+        let mut pruner2 = outcome.pruner;
+        let ttd_pruned = evaluate(&mut ttd_net, &data.test, &mut pruner2, 16);
+
+        // TTD-pruned must be at least as good as plain-pruned (usually
+        // strictly better); tolerate ties on this tiny problem.
+        assert!(
+            ttd_pruned + 1e-6 >= plain_pruned,
+            "ttd_pruned={ttd_pruned} plain_pruned={plain_pruned} (plain unpruned={plain_unpruned})"
+        );
+    }
+
+    #[test]
+    fn fixed_ratio_ablation_skips_ascent() {
+        let data = SynthConfig::tiny(2, 8).with_samples(6, 2).generate();
+        let mut rng = SmallRng::seed_from_u64(35);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let mut cfg = TtdConfig::new(PruneSchedule::new(vec![0.4, 0.4], vec![]), 3).without_ascent();
+        cfg.train = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::fast_test()
+        };
+        let outcome = train_ttd(&mut net, &data, &cfg);
+        // Ceiling is at the target from epoch 0.
+        assert!(outcome.ratio_trace.iter().all(|&(_, c)| (c - 0.4).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,34 @@
+//! # antidote-data
+//!
+//! Synthetic vision datasets for the AntiDote (DATE 2020) reproduction.
+//!
+//! Real CIFAR10/100 and ImageNet100 are not available in this offline
+//! environment, so this crate generates *procedural class-conditional
+//! images* with per-sample jitter — the documented substitution in
+//! `DESIGN.md` §2. The generator is deliberately designed so that the
+//! phenomenon AntiDote exploits (per-input variance of feature-map
+//! component significance) is present and measurable.
+//!
+//! # Example
+//!
+//! ```
+//! use antidote_data::{SynthConfig, BatchIter, Augmentation};
+//!
+//! let ds = SynthConfig::tiny(4, 16).generate();
+//! let mut aug = Augmentation::paper_default(16, 0);
+//! for (images, labels) in BatchIter::new(&ds.train, 16, Some(0)) {
+//!     let images = aug.apply(&images);
+//!     assert_eq!(images.dims()[0], labels.len());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod augment;
+mod loader;
+mod synth;
+
+pub use augment::Augmentation;
+pub use loader::BatchIter;
+pub use synth::{Split, SynthConfig, SynthDataset};

@@ -1,0 +1,407 @@
+//! Architecture descriptors for the model zoo.
+//!
+//! Configs are pure data: the analytic FLOPs model in `antidote-core`
+//! consumes them directly (at the paper's full scale), while
+//! [`crate::Vgg`]/[`crate::ResNet`] instantiate trainable networks from
+//! them (usually at reduced width for CPU training).
+
+use serde::{Deserialize, Serialize};
+
+/// One VGG convolutional block: `layers` convs of `channels` filters
+/// followed by a 2×2 max pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VggBlock {
+    /// Number of 3×3 conv layers in the block.
+    pub layers: usize,
+    /// Filters per conv layer.
+    pub channels: usize,
+}
+
+/// A VGG-style architecture: conv blocks with 2×2 max pools, then a
+/// flatten + linear classifier head.
+///
+/// # Examples
+///
+/// ```
+/// use antidote_models::VggConfig;
+///
+/// let cfg = VggConfig::vgg16(32, 10);
+/// assert_eq!(cfg.conv_layer_count(), 13);
+/// assert_eq!(cfg.blocks.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VggConfig {
+    /// Convolutional blocks, in order.
+    pub blocks: Vec<VggBlock>,
+    /// Input image channels.
+    pub input_channels: usize,
+    /// Input image side length (square inputs).
+    pub input_size: usize,
+    /// Classifier classes.
+    pub classes: usize,
+    /// Whether to insert batch norm after each conv.
+    pub batchnorm: bool,
+}
+
+impl VggConfig {
+    /// The paper's VGG16: 13 conv layers in 5 blocks of 2-2-3-3-3 layers
+    /// with 64-128-256-512-512 filters (Sec. V-B a).
+    pub fn vgg16(input_size: usize, classes: usize) -> Self {
+        Self {
+            blocks: vec![
+                VggBlock { layers: 2, channels: 64 },
+                VggBlock { layers: 2, channels: 128 },
+                VggBlock { layers: 3, channels: 256 },
+                VggBlock { layers: 3, channels: 512 },
+                VggBlock { layers: 3, channels: 512 },
+            ],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: false,
+        }
+    }
+
+    /// Width- and depth-reduced VGG with the same 5-block topology, for
+    /// CPU-scale training. `width` is the block-1 filter count (paper: 64).
+    pub fn vgg_small(input_size: usize, classes: usize, width: usize) -> Self {
+        Self {
+            blocks: vec![
+                VggBlock { layers: 1, channels: width },
+                VggBlock { layers: 1, channels: width * 2 },
+                VggBlock { layers: 2, channels: width * 4 },
+                VggBlock { layers: 2, channels: width * 8 },
+                VggBlock { layers: 2, channels: width * 8 },
+            ],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: false,
+        }
+    }
+
+    /// A 2-block VGG for unit tests.
+    pub fn vgg_tiny(input_size: usize, classes: usize) -> Self {
+        Self {
+            blocks: vec![
+                VggBlock { layers: 1, channels: 4 },
+                VggBlock { layers: 1, channels: 8 },
+            ],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: false,
+        }
+    }
+
+    /// Enables batch normalization after every conv.
+    pub fn with_batchnorm(mut self) -> Self {
+        self.batchnorm = true;
+        self
+    }
+
+    /// Total number of conv layers.
+    pub fn conv_layer_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.layers).sum()
+    }
+
+    /// Spatial side length of the feature map *inside* block `b`
+    /// (pooling halves it after each block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_spatial(&self, b: usize) -> usize {
+        assert!(b < self.blocks.len(), "block index out of range");
+        self.input_size >> b
+    }
+
+    /// Spatial side after the final pool (classifier input).
+    pub fn final_spatial(&self) -> usize {
+        self.input_size >> self.blocks.len()
+    }
+
+    /// Flattened classifier input feature count.
+    pub fn classifier_inputs(&self) -> usize {
+        let last = self.blocks.last().expect("at least one block");
+        last.channels * self.final_spatial() * self.final_spatial()
+    }
+
+    /// Per-conv-layer shapes `(block, in_ch, out_ch, feature_h/w)` in
+    /// forward order — the input to the analytic FLOPs model.
+    pub fn conv_shapes(&self) -> Vec<ConvShape> {
+        let mut shapes = Vec::new();
+        let mut in_ch = self.input_channels;
+        for (b, block) in self.blocks.iter().enumerate() {
+            let spatial = self.block_spatial(b);
+            for l in 0..block.layers {
+                shapes.push(ConvShape {
+                    block: b,
+                    layer_in_block: l,
+                    in_channels: in_ch,
+                    out_channels: block.channels,
+                    kernel: 3,
+                    spatial,
+                    prunable_output: true,
+                });
+                in_ch = block.channels;
+            }
+        }
+        shapes
+    }
+}
+
+/// A CIFAR-style ResNet: a 3×3 stem, three groups of basic blocks where
+/// each group `g` has `channels[g]` filters, stride-2 downsampling at the
+/// first block of groups 1 and 2, global average pooling, and a linear
+/// head. ResNet56 has 9 blocks per group (6·9 + 2 = 56 layers).
+///
+/// # Examples
+///
+/// ```
+/// use antidote_models::ResNetConfig;
+///
+/// let cfg = ResNetConfig::resnet56(32, 10);
+/// assert_eq!(cfg.total_conv_layers(), 55); // stem + 54 block convs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Basic blocks per group (ResNet56: 9, ResNet20: 3).
+    pub blocks_per_group: usize,
+    /// Filter counts of the three groups.
+    pub group_channels: [usize; 3],
+    /// Input image channels.
+    pub input_channels: usize,
+    /// Input image side length.
+    pub input_size: usize,
+    /// Classifier classes.
+    pub classes: usize,
+    /// Whether to insert batch norm after each conv (recommended).
+    pub batchnorm: bool,
+}
+
+impl ResNetConfig {
+    /// The paper's ResNet56 on 32×32 inputs (16-32-64 filters,
+    /// 9 blocks/group).
+    pub fn resnet56(input_size: usize, classes: usize) -> Self {
+        Self {
+            blocks_per_group: 9,
+            group_channels: [16, 32, 64],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: true,
+        }
+    }
+
+    /// ResNet20 (3 blocks per group) — the standard smaller sibling.
+    pub fn resnet20(input_size: usize, classes: usize) -> Self {
+        Self {
+            blocks_per_group: 3,
+            group_channels: [16, 32, 64],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: true,
+        }
+    }
+
+    /// ResNet8 (1 block per group) with narrow groups for CPU training.
+    pub fn resnet_small(input_size: usize, classes: usize, width: usize) -> Self {
+        Self {
+            blocks_per_group: 1,
+            group_channels: [width, width * 2, width * 4],
+            input_channels: 3,
+            input_size,
+            classes,
+            batchnorm: true,
+        }
+    }
+
+    /// Total conv layers (stem + 2 per basic block).
+    pub fn total_conv_layers(&self) -> usize {
+        1 + 6 * self.blocks_per_group
+    }
+
+    /// Feature-map side length inside group `g` (stride-2 entry halves at
+    /// groups 1 and 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= 3`.
+    pub fn group_spatial(&self, g: usize) -> usize {
+        assert!(g < 3, "group index out of range");
+        self.input_size >> g
+    }
+
+    /// Per-conv-layer shapes in forward order (stem first, then each
+    /// block's conv1/conv2). Only conv1 outputs (odd layers) are marked
+    /// prunable, because the skip connection fixes conv2's output shape
+    /// (Sec. V-B b).
+    pub fn conv_shapes(&self) -> Vec<ConvShape> {
+        let mut shapes = Vec::new();
+        shapes.push(ConvShape {
+            block: 0,
+            layer_in_block: 0,
+            in_channels: self.input_channels,
+            out_channels: self.group_channels[0],
+            kernel: 3,
+            spatial: self.input_size,
+            prunable_output: false,
+        });
+        let mut in_ch = self.group_channels[0];
+        for g in 0..3 {
+            let ch = self.group_channels[g];
+            let spatial = self.group_spatial(g);
+            for _b in 0..self.blocks_per_group {
+                // conv1 (odd layer in the paper's numbering): prunable
+                shapes.push(ConvShape {
+                    block: g,
+                    layer_in_block: 0,
+                    in_channels: in_ch,
+                    out_channels: ch,
+                    kernel: 3,
+                    spatial,
+                    prunable_output: true,
+                });
+                // conv2 (even layer): output must match the skip, not prunable
+                shapes.push(ConvShape {
+                    block: g,
+                    layer_in_block: 1,
+                    in_channels: ch,
+                    out_channels: ch,
+                    kernel: 3,
+                    spatial,
+                    prunable_output: false,
+                });
+                in_ch = ch;
+            }
+        }
+        shapes
+    }
+}
+
+/// Shape summary of one conv layer, consumed by the analytic FLOPs model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Block (VGG) or group (ResNet) index.
+    pub block: usize,
+    /// Layer index within the block.
+    pub layer_in_block: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Output feature-map side length (stride-1, pad-1 convs preserve it).
+    pub spatial: usize,
+    /// Whether the paper's method may prune this layer's *output* feature
+    /// map (false for ResNet even layers due to skip connections).
+    pub prunable_output: bool,
+}
+
+impl ConvShape {
+    /// Dense multiply–accumulate count of this layer (the paper's FLOPs
+    /// unit: `K²·Cin·Cout·H·W`).
+    pub fn macs(&self) -> u64 {
+        (self.kernel * self.kernel * self.in_channels * self.out_channels) as u64
+            * (self.spatial * self.spatial) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_paper_structure() {
+        let cfg = VggConfig::vgg16(32, 10);
+        assert_eq!(cfg.conv_layer_count(), 13);
+        let ch: Vec<usize> = cfg.blocks.iter().map(|b| b.channels).collect();
+        assert_eq!(ch, vec![64, 128, 256, 512, 512]);
+        let layers: Vec<usize> = cfg.blocks.iter().map(|b| b.layers).collect();
+        assert_eq!(layers, vec![2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn vgg16_cifar_flops_match_table1_baseline() {
+        // Table I reports 3.13E+08 baseline FLOPs for VGG16/CIFAR10.
+        let cfg = VggConfig::vgg16(32, 10);
+        let total: u64 = cfg.conv_shapes().iter().map(ConvShape::macs).sum();
+        assert!(
+            (total as f64 - 3.13e8).abs() / 3.13e8 < 0.01,
+            "VGG16 CIFAR MACs = {total}, expected ≈3.13e8"
+        );
+    }
+
+    #[test]
+    fn resnet56_flops_match_table1_baseline() {
+        // Table I reports 1.28E+08 baseline FLOPs for ResNet56/CIFAR10.
+        let cfg = ResNetConfig::resnet56(32, 10);
+        let total: u64 = cfg.conv_shapes().iter().map(ConvShape::macs).sum();
+        assert!(
+            (total as f64 - 1.28e8).abs() / 1.28e8 < 0.02,
+            "ResNet56 CIFAR MACs = {total}, expected ≈1.28e8"
+        );
+    }
+
+    #[test]
+    fn vgg16_imagenet_flops_match_table1_baseline() {
+        // Table I reports 1.52E+10 baseline FLOPs for VGG16/ImageNet (224²).
+        let cfg = VggConfig::vgg16(224, 100);
+        let total: u64 = cfg.conv_shapes().iter().map(ConvShape::macs).sum();
+        assert!(
+            (total as f64 - 1.52e10).abs() / 1.52e10 < 0.02,
+            "VGG16 ImageNet MACs = {total}, expected ≈1.52e10"
+        );
+    }
+
+    #[test]
+    fn vgg_spatial_halves_per_block() {
+        let cfg = VggConfig::vgg16(32, 10);
+        assert_eq!(cfg.block_spatial(0), 32);
+        assert_eq!(cfg.block_spatial(4), 2);
+        assert_eq!(cfg.final_spatial(), 1);
+        assert_eq!(cfg.classifier_inputs(), 512);
+    }
+
+    #[test]
+    fn resnet_odd_layers_only_prunable() {
+        let cfg = ResNetConfig::resnet20(32, 10);
+        let shapes = cfg.conv_shapes();
+        assert_eq!(shapes.len(), cfg.total_conv_layers());
+        // Stem not prunable; alternating prunable inside blocks.
+        assert!(!shapes[0].prunable_output);
+        let prunable = shapes.iter().filter(|s| s.prunable_output).count();
+        assert_eq!(prunable, 3 * cfg.blocks_per_group);
+    }
+
+    #[test]
+    fn resnet56_has_55_convs() {
+        assert_eq!(ResNetConfig::resnet56(32, 10).total_conv_layers(), 55);
+        assert_eq!(ResNetConfig::resnet20(32, 10).total_conv_layers(), 19);
+    }
+
+    #[test]
+    fn conv_shape_macs() {
+        let s = ConvShape {
+            block: 0,
+            layer_in_block: 0,
+            in_channels: 64,
+            out_channels: 64,
+            kernel: 3,
+            spatial: 32,
+            prunable_output: true,
+        };
+        assert_eq!(s.macs(), 37_748_736);
+    }
+
+    #[test]
+    fn small_configs_scale_down() {
+        let v = VggConfig::vgg_small(16, 10, 8);
+        assert_eq!(v.blocks[4].channels, 64);
+        let r = ResNetConfig::resnet_small(16, 10, 4);
+        assert_eq!(r.total_conv_layers(), 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! Feature-map taps: the hook points where AntiDote observes and masks
+//! activations.
+//!
+//! The paper inserts its attention → mask machinery "between any two
+//! consecutive convolutional layers" (Fig. 1). Models in this crate fire
+//! a [`FeatureHook`] right after each prunable conv's activation; the
+//! hook may answer with per-input [`FeatureMask`]s which the model then
+//! applies multiplicatively (Eq. 5) and respects during backprop.
+
+use antidote_nn::masked::FeatureMask;
+use antidote_nn::Mode;
+use antidote_tensor::Tensor;
+
+/// Identifies one tap (one prunable feature map) within a network, in
+/// forward order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TapId(pub usize);
+
+/// Static description of a tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TapInfo {
+    /// The tap's identifier (index in forward order).
+    pub id: TapId,
+    /// Block (VGG) / group (ResNet) this tap's conv belongs to.
+    pub block: usize,
+    /// Channel count of the tapped feature map.
+    pub channels: usize,
+    /// Spatial side length of the tapped feature map (at the model's own
+    /// input scale).
+    pub spatial: usize,
+}
+
+/// Observer/mutator of tapped feature maps.
+///
+/// Returning `None` leaves the feature map untouched; returning masks
+/// (one [`FeatureMask`] per batch item) prunes it. Implementations:
+/// `antidote_core::DynamicPruner` (testing phase) and the TTD targeted
+/// dropout (training phase).
+pub trait FeatureHook {
+    /// Called once per tap per forward pass with the post-activation
+    /// feature map `(N, C, H, W)`.
+    fn on_feature(&mut self, tap: TapInfo, feature: &Tensor, mode: Mode)
+        -> Option<Vec<FeatureMask>>;
+}
+
+/// A hook that never masks — plain forward passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl FeatureHook for NoopHook {
+    fn on_feature(
+        &mut self,
+        _tap: TapInfo,
+        _feature: &Tensor,
+        _mode: Mode,
+    ) -> Option<Vec<FeatureMask>> {
+        None
+    }
+}
+
+/// Builds the dense `(N, C, H, W)` multiplicative mask tensor from
+/// per-item masks, broadcasting channel masks over positions and spatial
+/// masks over channels (Eq. 5).
+///
+/// # Panics
+///
+/// Panics if `masks.len() != n` or mask lengths disagree with `c`/`h·w`.
+pub fn masks_to_tensor(masks: &[FeatureMask], n: usize, c: usize, h: usize, w: usize) -> Tensor {
+    assert_eq!(masks.len(), n, "one mask per batch item required");
+    let plane = h * w;
+    let mut m = Tensor::ones([n, c, h, w]);
+    let data = m.data_mut();
+    for (ni, mask) in masks.iter().enumerate() {
+        let item = &mut data[ni * c * plane..(ni + 1) * c * plane];
+        mask.apply_to_item(c, h, w, item);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hook_returns_none() {
+        let mut hook = NoopHook;
+        let t = Tensor::zeros([1, 2, 2, 2]);
+        let info = TapInfo {
+            id: TapId(0),
+            block: 0,
+            channels: 2,
+            spatial: 2,
+        };
+        assert!(hook.on_feature(info, &t, Mode::Eval).is_none());
+    }
+
+    #[test]
+    fn masks_to_tensor_broadcasts() {
+        let mask = FeatureMask {
+            channel: Some(vec![true, false]),
+            spatial: Some(vec![true, false, true, true]),
+        };
+        let m = masks_to_tensor(&[mask], 1, 2, 2, 2);
+        // channel 0: spatial mask only
+        assert_eq!(&m.data()[0..4], &[1.0, 0.0, 1.0, 1.0]);
+        // channel 1: fully masked
+        assert_eq!(&m.data()[4..8], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn keep_all_mask_is_ones() {
+        let m = masks_to_tensor(&[FeatureMask::keep_all()], 1, 3, 2, 2);
+        assert!(m.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn per_item_masks_are_independent() {
+        let m0 = FeatureMask {
+            channel: Some(vec![false]),
+            spatial: None,
+        };
+        let m1 = FeatureMask::keep_all();
+        let m = masks_to_tensor(&[m0, m1], 2, 1, 1, 2);
+        assert_eq!(m.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! VGG-style sequential CNN with feature taps after every conv.
+
+use crate::config::{ConvShape, VggConfig};
+use crate::network::Network;
+use crate::tap::{masks_to_tensor, FeatureHook, TapId, TapInfo};
+use antidote_nn::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use antidote_nn::masked::{masked_conv2d, FeatureMask, MacCounter};
+use antidote_nn::{Layer, Mode, Parameter};
+use antidote_tensor::Tensor;
+use rand::Rng;
+
+/// One element of the flat VGG op sequence.
+#[derive(Debug)]
+enum Op {
+    Conv(Conv2d),
+    Bn(BatchNorm2d),
+    Relu(Relu),
+    Pool(MaxPool2d),
+    Flatten(Flatten),
+    Linear(Linear),
+    /// A feature tap; caches the applied mask tensor for backward.
+    Tap {
+        info: TapInfo,
+        mask: Option<Tensor>,
+    },
+}
+
+/// A VGG network instantiated from a [`VggConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use antidote_models::{Vgg, VggConfig, Network};
+/// use antidote_nn::Mode;
+/// use antidote_tensor::Tensor;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 4));
+/// let logits = net.forward(&Tensor::zeros([2, 3, 8, 8]), Mode::Eval);
+/// assert_eq!(logits.dims(), &[2, 4]);
+/// ```
+#[derive(Debug)]
+pub struct Vgg {
+    config: VggConfig,
+    ops: Vec<Op>,
+    taps: Vec<TapInfo>,
+    /// Op index of the conv producing each tap, in tap order.
+    tap_conv_ops: Vec<usize>,
+}
+
+impl Vgg {
+    /// Builds a VGG with freshly initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input size is not divisible by `2^blocks`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: VggConfig) -> Self {
+        assert!(
+            config.input_size % (1 << config.blocks.len()) == 0,
+            "input size {} not divisible by 2^{} for pooling",
+            config.input_size,
+            config.blocks.len()
+        );
+        let mut ops = Vec::new();
+        let mut taps = Vec::new();
+        let mut tap_conv_ops = Vec::new();
+        let mut in_ch = config.input_channels;
+        let mut tap_idx = 0;
+        for (b, block) in config.blocks.iter().enumerate() {
+            let spatial = config.block_spatial(b);
+            for _ in 0..block.layers {
+                tap_conv_ops.push(ops.len());
+                ops.push(Op::Conv(Conv2d::new(rng, in_ch, block.channels, 3, 1, 1)));
+                if config.batchnorm {
+                    ops.push(Op::Bn(BatchNorm2d::new(block.channels)));
+                }
+                ops.push(Op::Relu(Relu::new()));
+                let info = TapInfo {
+                    id: TapId(tap_idx),
+                    block: b,
+                    channels: block.channels,
+                    spatial,
+                };
+                taps.push(info);
+                ops.push(Op::Tap { info, mask: None });
+                tap_idx += 1;
+                in_ch = block.channels;
+            }
+            ops.push(Op::Pool(MaxPool2d::new(2)));
+        }
+        ops.push(Op::Flatten(Flatten::new()));
+        ops.push(Op::Linear(Linear::new(
+            rng,
+            config.classifier_inputs(),
+            config.classes,
+        )));
+        Self {
+            config,
+            ops,
+            taps,
+            tap_conv_ops,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &VggConfig {
+        &self.config
+    }
+
+    /// Compiles *static* per-tap channel keep-masks into a physically
+    /// smaller inference network (filter surgery): masked filters are
+    /// removed from their conv, from the following batch norm, from the
+    /// next conv's input slices, and from the classifier's input stripes.
+    ///
+    /// The shrunk network computes exactly what the masked network
+    /// computes at inference (masked channels contribute zero either
+    /// way), with genuinely fewer parameters and MACs — the deployment
+    /// artifact of the static-pruning baselines. Taps absent from
+    /// `masks` keep all channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask's length disagrees with its tap's channel count
+    /// or a mask prunes *all* channels of a layer.
+    pub fn shrink(
+        &self,
+        masks: &std::collections::BTreeMap<usize, Vec<bool>>,
+    ) -> crate::shrunk::ShrunkVgg {
+        use crate::shrunk::{shrink_conv_weight, shrink_linear_weight, shrink_vec, ShrunkOp};
+        let mut ops = Vec::new();
+        let mut in_keep = vec![true; self.config.input_channels];
+        let mut out_keep = in_keep.clone();
+        let mut conv_idx = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Conv(conv) => {
+                    let full = vec![true; conv.out_channels()];
+                    out_keep = masks.get(&conv_idx).cloned().unwrap_or(full);
+                    assert_eq!(
+                        out_keep.len(),
+                        conv.out_channels(),
+                        "mask length mismatch at conv {conv_idx}"
+                    );
+                    let geom = conv.geometry();
+                    let w = shrink_conv_weight(&conv.weight().value, &out_keep, &in_keep);
+                    let b = shrink_vec(&conv.bias().value, &out_keep);
+                    ops.push(ShrunkOp::Conv(Conv2d::from_parts(
+                        w,
+                        b,
+                        geom.stride,
+                        geom.padding,
+                    )));
+                    in_keep = out_keep.clone();
+                    conv_idx += 1;
+                }
+                Op::Bn(bn) => {
+                    ops.push(ShrunkOp::Bn(BatchNorm2d::from_parts(
+                        shrink_vec(&bn.gamma().value, &out_keep),
+                        shrink_vec(&bn.beta().value, &out_keep),
+                        shrink_vec(bn.running_mean(), &out_keep),
+                        shrink_vec(bn.running_var(), &out_keep),
+                    )));
+                }
+                Op::Relu(_) => ops.push(ShrunkOp::Relu(Relu::new())),
+                Op::Pool(p) => ops.push(ShrunkOp::Pool(MaxPool2d::new(p.window()))),
+                Op::Flatten(_) => ops.push(ShrunkOp::Flatten(Flatten::new())),
+                Op::Linear(fc) => {
+                    let spatial = self.config.final_spatial() * self.config.final_spatial();
+                    let w = shrink_linear_weight(&fc.weight().value, &in_keep, spatial);
+                    ops.push(ShrunkOp::Linear(Linear::from_parts(
+                        w,
+                        fc.bias().value.clone(),
+                    )));
+                }
+                Op::Tap { .. } => {} // compiled away
+            }
+        }
+        crate::shrunk::ShrunkVgg { ops }
+    }
+}
+
+/// Downsamples a tap's spatial keep-mask through a `k×k` max pool: a
+/// pooled position stays kept if *any* position of its window was kept
+/// (all-masked windows pool to exactly 0 on post-ReLU maps, so skipping
+/// them is lossless).
+fn pool_mask(mask: &FeatureMask, h: usize, w: usize, k: usize) -> FeatureMask {
+    let spatial = mask.spatial.as_ref().map(|m| {
+        let (ho, wo) = (h / k, w / k);
+        let mut out = vec![false; ho * wo];
+        for (oy, row) in out.chunks_mut(wo).enumerate() {
+            for (ox, slot) in row.iter_mut().enumerate() {
+                *slot = (0..k).any(|dy| (0..k).any(|dx| m[(oy * k + dy) * w + (ox * k + dx)]));
+            }
+        }
+        out
+    });
+    FeatureMask {
+        channel: mask.channel.clone(),
+        spatial,
+    }
+}
+
+impl Network for Vgg {
+    fn forward_hooked(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        hook: &mut dyn FeatureHook,
+    ) -> Tensor {
+        let mut x = input.clone();
+        for op in &mut self.ops {
+            x = match op {
+                Op::Conv(l) => l.forward(&x, mode),
+                Op::Bn(l) => l.forward(&x, mode),
+                Op::Relu(l) => l.forward(&x, mode),
+                Op::Pool(l) => l.forward(&x, mode),
+                Op::Flatten(l) => l.forward(&x, mode),
+                Op::Linear(l) => l.forward(&x, mode),
+                Op::Tap { info, mask } => {
+                    *mask = None;
+                    if let Some(item_masks) = hook.on_feature(*info, &x, mode) {
+                        let (n, c, h, w) = x.shape().as_nchw().expect("tap expects NCHW");
+                        let m = masks_to_tensor(&item_masks, n, c, h, w);
+                        let masked = x.zip(&m, |a, b| a * b);
+                        if mode.is_train() {
+                            *mask = Some(m);
+                        }
+                        masked
+                    } else {
+                        x
+                    }
+                }
+            };
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut g = grad_logits.clone();
+        for op in self.ops.iter_mut().rev() {
+            g = match op {
+                Op::Conv(l) => l.backward(&g),
+                Op::Bn(l) => l.backward(&g),
+                Op::Relu(l) => l.backward(&g),
+                Op::Pool(l) => l.backward(&g),
+                Op::Flatten(l) => l.backward(&g),
+                Op::Linear(l) => l.backward(&g),
+                Op::Tap { mask, .. } => match mask.take() {
+                    Some(m) => g.zip(&m, |a, b| a * b),
+                    None => g,
+                },
+            };
+        }
+        g
+    }
+
+    fn forward_measured(
+        &mut self,
+        input: &Tensor,
+        hook: &mut dyn FeatureHook,
+        counter: &mut MacCounter,
+    ) -> Tensor {
+        let mode = Mode::Eval;
+        let mut x = input.clone();
+        // Masks from the most recent tap, consumed by the next conv.
+        let mut pending: Option<Vec<FeatureMask>> = None;
+        for op in &mut self.ops {
+            x = match op {
+                Op::Conv(l) => {
+                    let n = x.dims()[0];
+                    let masks = pending
+                        .take()
+                        .unwrap_or_else(|| vec![FeatureMask::keep_all(); n]);
+                    masked_conv2d(
+                        &x,
+                        &l.weight().value,
+                        Some(&l.bias().value),
+                        l.geometry(),
+                        &masks,
+                        counter,
+                    )
+                }
+                Op::Bn(l) => l.forward(&x, mode),
+                Op::Relu(l) => l.forward(&x, mode),
+                Op::Pool(l) => {
+                    let (_, _, h, w) = x.shape().as_nchw().expect("pool expects NCHW");
+                    if let Some(masks) = pending.take() {
+                        pending = Some(
+                            masks
+                                .iter()
+                                .map(|m| pool_mask(m, h, w, l.window()))
+                                .collect(),
+                        );
+                    }
+                    l.forward(&x, mode)
+                }
+                Op::Flatten(l) => l.forward(&x, mode),
+                Op::Linear(l) => {
+                    counter.add(l.macs() * x.dims()[0] as u64);
+                    l.forward(&x, mode)
+                }
+                Op::Tap { info, mask } => {
+                    *mask = None;
+                    if let Some(item_masks) = hook.on_feature(*info, &x, mode) {
+                        let (n, c, h, w) = x.shape().as_nchw().expect("tap expects NCHW");
+                        let m = masks_to_tensor(&item_masks, n, c, h, w);
+                        let masked = x.zip(&m, |a, b| a * b);
+                        pending = Some(item_masks);
+                        masked
+                    } else {
+                        pending = None;
+                        x
+                    }
+                }
+            };
+        }
+        x
+    }
+
+    fn visit_params_mut(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        for op in &mut self.ops {
+            match op {
+                Op::Conv(l) => l.visit_params_mut(visitor),
+                Op::Bn(l) => l.visit_params_mut(visitor),
+                Op::Linear(l) => l.visit_params_mut(visitor),
+                _ => {}
+            }
+        }
+    }
+
+    fn taps(&self) -> Vec<TapInfo> {
+        self.taps.clone()
+    }
+
+    fn visit_tap_convs(&self, visitor: &mut dyn FnMut(usize, &Conv2d)) {
+        for (tap_idx, &op_idx) in self.tap_conv_ops.iter().enumerate() {
+            if let Op::Conv(conv) = &self.ops[op_idx] {
+                visitor(tap_idx, conv);
+            }
+        }
+    }
+
+    fn conv_shapes(&self) -> Vec<ConvShape> {
+        self.config.conv_shapes()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "vgg(blocks={:?}, input={}x{}, classes={})",
+            self.config
+                .blocks
+                .iter()
+                .map(|b| (b.layers, b.channels))
+                .collect::<Vec<_>>(),
+            self.config.input_size,
+            self.config.input_size,
+            self.config.classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_nn::loss::softmax_cross_entropy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Vgg {
+        let mut rng = SmallRng::seed_from_u64(11);
+        Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = tiny();
+        let y = net.forward(&Tensor::zeros([2, 3, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(net.taps().len(), 2);
+    }
+
+    #[test]
+    fn backward_runs_and_fills_grads() {
+        let mut net = tiny();
+        let x = Tensor::from_fn([2, 3, 8, 8], |i| (i as f32 * 0.013).sin());
+        let y = net.forward(&x, Mode::Train);
+        let out = softmax_cross_entropy(&y, &[0, 1]);
+        let gin = net.backward(&out.grad);
+        assert_eq!(gin.dims(), x.dims());
+        let mut total_grad = 0.0;
+        net.visit_params_mut(&mut |p| total_grad += p.grad.norm_sq());
+        assert!(total_grad > 0.0, "gradients should be nonzero");
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        // Numerical check through the whole network (a few coordinates).
+        let mut net = tiny();
+        let x = Tensor::from_fn([1, 3, 8, 8], |i| (i as f32 * 0.037).cos() * 0.5);
+        let labels = [1usize];
+        let y = net.forward(&x, Mode::Train);
+        let out = softmax_cross_entropy(&y, &labels);
+        net.zero_grad();
+        net.backward(&out.grad);
+
+        // collect analytic grads
+        let mut grads: Vec<f32> = Vec::new();
+        net.visit_params_mut(&mut |p| grads.extend_from_slice(p.grad.data()));
+
+        let eps = 1e-2f32;
+        let loss_at = |net: &mut Vgg, x: &Tensor| -> f32 {
+            let y = net.forward(x, Mode::Eval);
+            softmax_cross_entropy(&y, &labels).loss
+        };
+        // perturb a few parameters across layers, addressed by their flat
+        // index in visit order
+        let probe: Vec<usize> = vec![0, 50, 120];
+        let mut checked = 0;
+        for &target in &probe {
+            let mut flat_index;
+            // +eps
+            flat_index = 0;
+            net.visit_params_mut(&mut |p| {
+                let len = p.len();
+                if target >= flat_index && target < flat_index + len {
+                    p.value.data_mut()[target - flat_index] += eps;
+                }
+                flat_index += len;
+            });
+            let fp = loss_at(&mut net, &x);
+            // -2eps
+            flat_index = 0;
+            net.visit_params_mut(&mut |p| {
+                let len = p.len();
+                if target >= flat_index && target < flat_index + len {
+                    p.value.data_mut()[target - flat_index] -= 2.0 * eps;
+                }
+                flat_index += len;
+            });
+            let fm = loss_at(&mut net, &x);
+            // restore
+            flat_index = 0;
+            net.visit_params_mut(&mut |p| {
+                let len = p.len();
+                if target >= flat_index && target < flat_index + len {
+                    p.value.data_mut()[target - flat_index] += eps;
+                }
+                flat_index += len;
+            });
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grads[target];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "grad mismatch at {target}: num={num} ana={ana}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, probe.len());
+    }
+
+    #[test]
+    fn hook_masks_are_applied_and_backpropagated() {
+        #[derive(Debug)]
+        struct KillFirstChannel;
+        impl FeatureHook for KillFirstChannel {
+            fn on_feature(
+                &mut self,
+                _tap: TapInfo,
+                feature: &Tensor,
+                _mode: Mode,
+            ) -> Option<Vec<FeatureMask>> {
+                let (n, c, _, _) = feature.shape().as_nchw().unwrap();
+                let mut ch = vec![true; c];
+                ch[0] = false;
+                Some(vec![
+                    FeatureMask {
+                        channel: Some(ch),
+                        spatial: None
+                    };
+                    n
+                ])
+            }
+        }
+        let mut net = tiny();
+        let x = Tensor::from_fn([1, 3, 8, 8], |i| (i as f32 * 0.05).sin());
+        let y_plain = net.forward(&x, Mode::Eval);
+        let y_masked = net.forward_hooked(&x, Mode::Eval, &mut KillFirstChannel);
+        assert!(!y_plain.allclose(&y_masked, 1e-6), "mask must change logits");
+
+        // Backward must not crash and must respect the mask.
+        let y = net.forward_hooked(&x, Mode::Train, &mut KillFirstChannel);
+        let out = softmax_cross_entropy(&y, &[0]);
+        net.zero_grad();
+        let g = net.backward(&out.grad);
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn measured_forward_matches_hooked_forward() {
+        #[derive(Debug)]
+        struct HalfChannels;
+        impl FeatureHook for HalfChannels {
+            fn on_feature(
+                &mut self,
+                _tap: TapInfo,
+                feature: &Tensor,
+                _mode: Mode,
+            ) -> Option<Vec<FeatureMask>> {
+                let (n, c, _, _) = feature.shape().as_nchw().unwrap();
+                let ch: Vec<bool> = (0..c).map(|i| i % 2 == 0).collect();
+                Some(vec![
+                    FeatureMask {
+                        channel: Some(ch),
+                        spatial: None
+                    };
+                    n
+                ])
+            }
+        }
+        let mut net = tiny();
+        let x = Tensor::from_fn([2, 3, 8, 8], |i| (i as f32 * 0.021).sin());
+        let logits_mult = net.forward_hooked(&x, Mode::Eval, &mut HalfChannels);
+        let mut counter = MacCounter::new();
+        let logits_meas = net.forward_measured(&x, &mut HalfChannels, &mut counter);
+        assert!(
+            logits_mult.allclose(&logits_meas, 1e-3),
+            "masked executor must be numerically equivalent"
+        );
+        // And it must do fewer MACs than the dense path.
+        let mut dense_counter = MacCounter::new();
+        let _ = net.forward_measured(&x, &mut crate::tap::NoopHook, &mut dense_counter);
+        assert!(counter.total() < dense_counter.total());
+    }
+
+    #[test]
+    fn pool_mask_downsamples_any_semantics() {
+        let m = FeatureMask {
+            channel: Some(vec![true, false]),
+            spatial: Some(vec![
+                true, false, false, false, // row 0
+                false, false, false, false, // row 1
+                false, false, false, false, // row 2
+                false, false, false, true, // row 3
+            ]),
+        };
+        let p = pool_mask(&m, 4, 4, 2);
+        assert_eq!(p.channel, Some(vec![true, false]));
+        assert_eq!(p.spatial, Some(vec![true, false, false, true]));
+    }
+
+    #[test]
+    fn param_count_is_plausible() {
+        let mut net = tiny();
+        // conv1: 3*4*9+4, conv2: 4*8*9+8, linear: (8*2*2)*3+3
+        let expect = (3 * 4 * 9 + 4) + (4 * 8 * 9 + 8) + (8 * 4 * 3 + 3);
+        assert_eq!(net.param_count(), expect);
+    }
+}

@@ -1,0 +1,361 @@
+//! 2-D convolution layer (im2col + GEMM, full backward pass).
+
+use crate::{Layer, Mode, Parameter};
+use antidote_tensor::conv::{col2im, im2col, ConvGeometry};
+use antidote_tensor::linalg::{matmul_a_bt, matmul_at_b, matmul_into};
+use antidote_tensor::{init, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution with square kernels, symmetric zero padding and bias.
+///
+/// Forward lowers each batch item to a column matrix
+/// ([`antidote_tensor::conv::im2col`]) and multiplies by the
+/// `(Cout, Cin·K·K)` weight matrix; backward reuses the cached columns.
+///
+/// # Examples
+///
+/// ```
+/// use antidote_nn::{layers::Conv2d, Layer, Mode};
+/// use antidote_tensor::Tensor;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 1, 1);
+/// let x = Tensor::zeros([2, 3, 16, 16]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Parameter,
+    bias: Parameter,
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    /// im2col matrices, one `(Cin·K·K, Hout·Wout)` buffer per batch item.
+    cols: Vec<Vec<f32>>,
+    input_hw: (usize, usize),
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialized weights and zero
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let geom = ConvGeometry::new(kernel, stride, padding);
+        let weight = Parameter::new(init::kaiming_normal(
+            rng,
+            &[out_channels, in_channels, kernel, kernel],
+        ));
+        let bias = Parameter::new(Tensor::zeros([out_channels]));
+        Self {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            geom,
+            cache: None,
+        }
+    }
+
+    /// Builds a convolution from explicit weights (used by tests and by
+    /// the static-pruning baselines when shrinking filters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn from_parts(weight: Tensor, bias: Tensor, stride: usize, padding: usize) -> Self {
+        let dims = weight.dims().to_vec();
+        assert_eq!(dims.len(), 4, "conv weight must be (Cout,Cin,K,K)");
+        assert_eq!(dims[2], dims[3], "only square kernels supported");
+        assert_eq!(bias.dims(), &[dims[0]], "bias must be (Cout,)");
+        let geom = ConvGeometry::new(dims[2], stride, padding);
+        Self {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(bias),
+            in_channels: dims[1],
+            out_channels: dims[0],
+            geom,
+            cache: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution geometry (kernel/stride/padding).
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter (used by pruning baselines).
+    pub fn weight_mut(&mut self) -> &mut Parameter {
+        &mut self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Parameter {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Parameter {
+        &mut self.bias
+    }
+
+    /// Multiply–accumulate count for one forward pass over an input of
+    /// spatial size `(h, w)` with batch size 1 — the paper's FLOPs unit.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (hout, wout) = self.geom.output_size(h, w);
+        (self.out_channels * self.in_channels * self.geom.kernel * self.geom.kernel) as u64
+            * (hout * wout) as u64
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = input
+            .shape()
+            .as_nchw()
+            .expect("Conv2d expects (N,C,H,W) input");
+        assert_eq!(
+            c, self.in_channels,
+            "Conv2d configured for {} input channels, got {c}",
+            self.in_channels
+        );
+        let k = self.geom.kernel;
+        let (hout, wout) = self.geom.output_size(h, w);
+        let l = hout * wout;
+        let ckk = c * k * k;
+        let mut out = Tensor::zeros([n, self.out_channels, hout, wout]);
+        let mut cols_cache: Vec<Vec<f32>> = Vec::new();
+        let w_data = self.weight.value.data().to_vec();
+        let b_data = self.bias.value.data().to_vec();
+        for ni in 0..n {
+            let img = &input.data()[ni * c * h * w..(ni + 1) * c * h * w];
+            let mut cols = vec![0.0f32; ckk * l];
+            im2col(img, c, h, w, self.geom, &mut cols);
+            let out_slice =
+                &mut out.data_mut()[ni * self.out_channels * l..(ni + 1) * self.out_channels * l];
+            matmul_into(&w_data, &cols, out_slice, self.out_channels, ckk, l);
+            for co in 0..self.out_channels {
+                let b = b_data[co];
+                if b != 0.0 {
+                    for v in &mut out_slice[co * l..(co + 1) * l] {
+                        *v += b;
+                    }
+                }
+            }
+            if mode.is_train() {
+                cols_cache.push(cols);
+            }
+        }
+        self.cache = mode.is_train().then_some(ConvCache {
+            cols: cols_cache,
+            input_hw: (h, w),
+            out_hw: (hout, wout),
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without forward(Train)");
+        let (n, co, hout, wout) = grad_out
+            .shape()
+            .as_nchw()
+            .expect("grad_out must be (N,Cout,Hout,Wout)");
+        assert_eq!(co, self.out_channels);
+        assert_eq!((hout, wout), cache.out_hw, "grad_out spatial mismatch");
+        let (h, w) = cache.input_hw;
+        let k = self.geom.kernel;
+        let c = self.in_channels;
+        let ckk = c * k * k;
+        let l = hout * wout;
+        let mut grad_in = Tensor::zeros([n, c, h, w]);
+        let w_data = self.weight.value.data().to_vec();
+        for ni in 0..n {
+            let go = &grad_out.data()[ni * co * l..(ni + 1) * co * l];
+            let cols = &cache.cols[ni];
+            // dW += dY · colsᵀ   (Cout×L)·(L×CKK)
+            matmul_a_bt(go, cols, self.weight.grad.data_mut(), co, l, ckk);
+            // db += rowsum(dY)
+            for (ci, gb) in self.bias.grad.data_mut().iter_mut().enumerate() {
+                *gb += go[ci * l..(ci + 1) * l].iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · dY    (CKK×Cout)·(Cout×L)
+            let mut grad_cols = vec![0.0f32; ckk * l];
+            matmul_at_b(&w_data, go, &mut grad_cols, co, ckk, l);
+            let gi = &mut grad_in.data_mut()[ni * c * h * w..(ni + 1) * c * h * w];
+            col2im(&grad_cols, c, h, w, self.geom, gi);
+        }
+        grad_in
+    }
+
+    fn visit_params_mut(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv{k}x{k}({inc}->{outc}, s{s}, p{p})",
+            k = self.geom.kernel,
+            inc = self.in_channels,
+            outc = self.out_channels,
+            s = self.geom.stride,
+            p = self.geom.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_tensor::conv::conv2d_reference;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 3, 5, 3, 1, 1);
+        let x = init::uniform(&mut r, &[2, 3, 7, 6], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 5, 7, 6]);
+        for ni in 0..2 {
+            let expect = conv2d_reference(
+                &x.batch_item(ni),
+                &conv.weight().value,
+                Some(&conv.bias().value),
+                conv.geometry(),
+            );
+            assert!(y.batch_item(ni).allclose(&expect, 1e-4));
+        }
+    }
+
+    #[test]
+    fn gradient_check_weight_and_input() {
+        // Numerical gradient check on a tiny conv: the canonical test that
+        // the backward pass is exactly the adjoint of forward.
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 2, 3, 3, 1, 1);
+        let x = init::uniform(&mut r, &[1, 2, 4, 4], -1.0, 1.0);
+
+        // Loss = sum(forward(x)); analytic gradient:
+        let y = conv.forward(&x, Mode::Train);
+        let grad_out = Tensor::ones(y.dims().to_vec());
+        let grad_in = conv.backward(&grad_out);
+
+        let eps = 1e-2f32;
+        // input gradient check (a handful of coordinates)
+        for &i in &[0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = conv.forward(&xp, Mode::Eval).sum();
+            let fm = conv.forward(&xm, Mode::Eval).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grad_in.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "input grad mismatch at {i}: num={num} ana={ana}"
+            );
+        }
+        // weight gradient check
+        let wg = conv.weight().grad.clone();
+        for &i in &[0usize, 7, 20, 53] {
+            let orig = conv.weight().value.data()[i];
+            conv.weight_mut().value.data_mut()[i] = orig + eps;
+            let fp = conv.forward(&x, Mode::Eval).sum();
+            conv.weight_mut().value.data_mut()[i] = orig - eps;
+            let fm = conv.forward(&x, Mode::Eval).sum();
+            conv.weight_mut().value.data_mut()[i] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = wg.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "weight grad mismatch at {i}: num={num} ana={ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_output_count() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 1, 2, 3, 1, 1);
+        let x = Tensor::zeros([2, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Train);
+        conv.backward(&Tensor::ones(y.dims().to_vec()));
+        // d(sum y)/db_c = N * Hout * Wout = 2*16
+        assert_eq!(conv.bias().grad.data(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn macs_formula() {
+        let mut r = rng();
+        let conv = Conv2d::new(&mut r, 64, 64, 3, 1, 1);
+        // 9 * 64 * 64 * 32 * 32 = 37,748,736
+        assert_eq!(conv.macs(32, 32), 37_748_736);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without forward")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 1, 1, 3, 1, 1);
+        conv.backward(&Tensor::zeros([1, 1, 4, 4]));
+    }
+
+    #[test]
+    fn describe_and_param_count() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(&mut r, 3, 8, 3, 1, 1);
+        assert_eq!(conv.describe(), "conv3x3(3->8, s1, p1)");
+        assert_eq!(conv.param_count(), 3 * 8 * 9 + 8);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let w = Tensor::zeros([4, 2, 3, 3]);
+        let b = Tensor::zeros([4]);
+        let conv = Conv2d::from_parts(w, b, 1, 1);
+        assert_eq!(conv.out_channels(), 4);
+        assert_eq!(conv.in_channels(), 2);
+    }
+}

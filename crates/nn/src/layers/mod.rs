@@ -1,0 +1,15 @@
+//! Layer implementations.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod linear;
+mod misc;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use misc::{Dropout, Flatten};
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};

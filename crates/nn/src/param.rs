@@ -1,0 +1,72 @@
+//! Trainable parameters (weight + accumulated gradient).
+
+use antidote_tensor::Tensor;
+
+/// A trainable tensor with its accumulated gradient.
+///
+/// Layers own their `Parameter`s; optimizers walk them through
+/// [`crate::layer::Layer::visit_params_mut`]. Gradients accumulate across
+/// `backward` calls until [`Parameter::zero_grad`] resets them, matching
+/// the usual minibatch-accumulation semantics.
+///
+/// # Examples
+///
+/// ```
+/// use antidote_nn::Parameter;
+/// use antidote_tensor::Tensor;
+///
+/// let mut p = Parameter::new(Tensor::zeros([2, 2]));
+/// p.grad.data_mut()[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Parameter {
+    /// Wraps a tensor as a trainable parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Self { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no values (never for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_matches_value_shape() {
+        let p = Parameter::new(Tensor::zeros([3, 4]));
+        assert_eq!(p.grad.dims(), &[3, 4]);
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Parameter::new(Tensor::ones([2]));
+        p.grad = Tensor::full([2], 7.0);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! A simple ordered layer container.
+//!
+//! The model zoo builds its own structures (VGG needs taps, ResNet needs
+//! skips), but plain sequential stacks are useful for tests, baselines
+//! and downstream users; `Sequential` packages the forward/backward/
+//! parameter plumbing once.
+
+use crate::{Layer, Mode, Parameter};
+use antidote_tensor::Tensor;
+
+/// An ordered stack of layers executed front to back (and differentiated
+/// back to front).
+///
+/// # Examples
+///
+/// ```
+/// use antidote_nn::{Sequential, Layer, Mode};
+/// use antidote_nn::layers::{Conv2d, Relu, Flatten, Linear};
+/// use antidote_tensor::Tensor;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut net = Sequential::new()
+///     .push(Conv2d::new(&mut rng, 1, 4, 3, 1, 1))
+///     .push(Relu::new())
+///     .push(Flatten::new())
+///     .push(Linear::new(&mut rng, 4 * 8 * 8, 2));
+/// let y = net.forward(&Tensor::zeros([2, 1, 8, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params_mut(&mut self, visitor: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(visitor);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("sequential[{}]", inner.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use antidote_tensor::init;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut SmallRng) -> Sequential {
+        Sequential::new()
+            .push(Linear::new(rng, 4, 8))
+            .push(Relu::new())
+            .push(Linear::new(rng, 8, 2))
+    }
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = mlp(&mut rng);
+        let x = init::uniform(&mut rng, &[3, 4], -1.0, 1.0);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[3, 2]);
+        let g = net.backward(&Tensor::ones([3, 2]));
+        assert_eq!(g.dims(), &[3, 4]);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn trains_xorish_problem() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = mlp(&mut rng);
+        // Class = sign of the first feature.
+        let x = init::uniform(&mut rng, &[64, 4], -1.0, 1.0);
+        let labels: Vec<usize> = (0..64).map(|i| (x.data()[i * 4] > 0.0) as usize).collect();
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let mut last = f32::INFINITY;
+        for _ in 0..60 {
+            let y = net.forward(&x, Mode::Train);
+            let out = softmax_cross_entropy(&y, &labels);
+            net.zero_grad();
+            net.backward(&out.grad);
+            sgd.begin_step();
+            net.visit_params_mut(&mut |p| sgd.update(p));
+            last = out.loss;
+        }
+        assert!(last < 0.2, "loss {last} should be low");
+    }
+
+    #[test]
+    fn describe_lists_layers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(&mut rng, 4, 2));
+        assert_eq!(net.describe(), "sequential[flatten -> linear(4->2)]");
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::from_fn([2, 2], |i| i as f32);
+        assert_eq!(net.forward(&x, Mode::Eval).data(), x.data());
+        assert_eq!(net.backward(&x).data(), x.data());
+    }
+}

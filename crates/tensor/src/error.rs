@@ -1,0 +1,134 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by fallible tensor operations.
+///
+/// Most tensor methods in this crate panic on programmer errors (shape
+/// mismatches inside hot loops), but the public constructors and reshaping
+/// entry points validate their arguments and return this error instead, per
+/// C-VALIDATE.
+///
+/// # Examples
+///
+/// ```
+/// use antidote_tensor::{Tensor, TensorError};
+///
+/// let err = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert!(matches!(err, TensorError::ShapeDataMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The product of the requested dimensions does not equal the number of
+    /// supplied elements.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A reshape was requested whose element count differs from the source.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A dimension of size zero was supplied where a non-empty tensor is
+    /// required.
+    EmptyDimension,
+    /// The operation is only defined for a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Supplied rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were supplied"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "operand shapes differ: {left:?} vs {right:?}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::EmptyDimension => write!(f, "dimension of size zero is not allowed"),
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected} but tensor has rank {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msg = TensorError::ShapeDataMismatch {
+            expected: 4,
+            actual: 3,
+        }
+        .to_string();
+        assert!(msg.starts_with("shape implies"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            TensorError::ShapeDataMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![1],
+                right: vec![2],
+            },
+            TensorError::ReshapeMismatch { from: 4, to: 5 },
+            TensorError::AxisOutOfRange { axis: 3, rank: 2 },
+            TensorError::EmptyDimension,
+            TensorError::RankMismatch {
+                expected: 4,
+                actual: 2,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Axis reductions and normalizations over `(N, C, H, W)` feature maps.
+//!
+//! These are the primitives behind the paper's attention coefficients:
+//! Eq. (1) is [`spatial_mean_per_channel`], Eq. (2) is
+//! [`channel_mean_per_position`].
+
+use crate::Tensor;
+
+/// Per-channel mean over the spatial dimensions of an `(N, C, H, W)` map —
+/// the global-average-pooling statistic of Eq. (1). Returns `(N, C)`.
+///
+/// # Panics
+///
+/// Panics if `f` is not rank 4.
+pub fn spatial_mean_per_channel(f: &Tensor) -> Tensor {
+    let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
+    let plane = h * w;
+    let inv = 1.0 / plane as f32;
+    let mut out = Tensor::zeros([n, c]);
+    let (src, dst) = (f.data(), out.data_mut());
+    for i in 0..n * c {
+        let s: f32 = src[i * plane..(i + 1) * plane].iter().sum();
+        dst[i] = s * inv;
+    }
+    out
+}
+
+/// Per-position mean over the channel dimension of an `(N, C, H, W)` map —
+/// the spatial-attention statistic of Eq. (2). Returns `(N, H, W)`.
+///
+/// # Panics
+///
+/// Panics if `f` is not rank 4.
+pub fn channel_mean_per_position(f: &Tensor) -> Tensor {
+    let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
+    let plane = h * w;
+    let inv = 1.0 / c as f32;
+    let mut out = Tensor::zeros([n, h, w]);
+    let (src, dst) = (f.data(), out.data_mut());
+    for ni in 0..n {
+        let dst_plane = &mut dst[ni * plane..(ni + 1) * plane];
+        for ci in 0..c {
+            let src_plane = &src[(ni * c + ci) * plane..(ni * c + ci + 1) * plane];
+            for (d, &s) in dst_plane.iter_mut().zip(src_plane) {
+                *d += s;
+            }
+        }
+        for d in dst_plane.iter_mut() {
+            *d *= inv;
+        }
+    }
+    out
+}
+
+/// Per-channel spatial maximum of an `(N, C, H, W)` map; the max-pool
+/// variant of the attention statistic (used as an ablation). Returns
+/// `(N, C)`.
+pub fn spatial_max_per_channel(f: &Tensor) -> Tensor {
+    let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
+    let plane = h * w;
+    let mut out = Tensor::zeros([n, c]);
+    let (src, dst) = (f.data(), out.data_mut());
+    for i in 0..n * c {
+        dst[i] = src[i * plane..(i + 1) * plane]
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+    }
+    out
+}
+
+/// Per-position channel maximum of an `(N, C, H, W)` map. Returns
+/// `(N, H, W)`.
+pub fn channel_max_per_position(f: &Tensor) -> Tensor {
+    let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
+    let plane = h * w;
+    let mut out = Tensor::full([n, h, w], f32::NEG_INFINITY);
+    let (src, dst) = (f.data(), out.data_mut());
+    for ni in 0..n {
+        let dst_plane = &mut dst[ni * plane..(ni + 1) * plane];
+        for ci in 0..c {
+            let src_plane = &src[(ni * c + ci) * plane..(ni * c + ci + 1) * plane];
+            for (d, &s) in dst_plane.iter_mut().zip(src_plane) {
+                if s > *d {
+                    *d = s;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise softmax of an `(N, K)` matrix (numerically stabilized by the
+/// row max).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (n, k) = logits
+        .shape()
+        .as_matrix()
+        .expect("softmax_rows expects (N, K) logits");
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Sum over axis 0 of an `(N, K)` matrix, returning `(K,)` — the bias
+/// gradient reduction.
+///
+/// # Panics
+///
+/// Panics if `m` is not rank 2.
+pub fn sum_rows(m: &Tensor) -> Tensor {
+    let (n, k) = m.shape().as_matrix().expect("sum_rows expects rank 2");
+    let mut out = Tensor::zeros([k]);
+    let (src, dst) = (m.data(), out.data_mut());
+    for i in 0..n {
+        for (d, &s) in dst.iter_mut().zip(&src[i * k..(i + 1) * k]) {
+            *d += s;
+        }
+    }
+    out
+}
+
+/// Indices of the `k` largest values of `values`, in descending value
+/// order. Ties resolve to the lower index — this makes the paper's `topk`
+/// (Eq. 3–4) deterministic.
+///
+/// # Panics
+///
+/// Panics if `k > values.len()`.
+pub fn topk_indices(values: &[f32], k: usize) -> Vec<usize> {
+    assert!(
+        k <= values.len(),
+        "topk k={k} exceeds length {}",
+        values.len()
+    );
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    // Total order: by value desc, then index asc (stable, NaN-free inputs).
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map() -> Tensor {
+        // (1, 2, 2, 2): channel 0 = [1,2,3,4], channel 1 = [10,20,30,40]
+        Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq1_channel_attention() {
+        let a = spatial_mean_per_channel(&sample_map());
+        assert_eq!(a.dims(), &[1, 2]);
+        assert_eq!(a.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn eq2_spatial_attention() {
+        let a = channel_mean_per_position(&sample_map());
+        assert_eq!(a.dims(), &[1, 2, 2]);
+        assert_eq!(a.data(), &[5.5, 11.0, 16.5, 22.0]);
+    }
+
+    #[test]
+    fn max_statistics() {
+        let m = spatial_max_per_channel(&sample_map());
+        assert_eq!(m.data(), &[4.0, 40.0]);
+        let p = channel_max_per_position(&sample_map());
+        assert_eq!(p.data(), &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let l = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&l);
+        for i in 0..2 {
+            let row_sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone in logits.
+        assert!(s.data()[2] > s.data()[1]);
+    }
+
+    #[test]
+    fn softmax_large_logits_stable() {
+        let l = Tensor::from_vec(vec![1000.0, 1000.0], &[1, 2]).unwrap();
+        let s = softmax_rows(&l);
+        assert!((s.data()[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_rows_reduces_axis0() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(sum_rows(&m).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn topk_descending_and_deterministic() {
+        let v = [0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(topk_indices(&v, 3), vec![1, 3, 2]);
+        assert_eq!(topk_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(topk_indices(&v, 5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn topk_overflow_panics() {
+        topk_indices(&[1.0], 2);
+    }
+
+    #[test]
+    fn batched_reductions() {
+        let f = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let a = spatial_mean_per_channel(&f);
+        assert_eq!(a.dims(), &[2, 3]);
+        // batch 1, channel 0 spans elements 12..16 -> mean 13.5
+        assert_eq!(a.at(&[1, 0]), 13.5);
+        let s = channel_mean_per_position(&f);
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        // batch 0 position (0,0): mean of {0, 4, 8} = 4
+        assert_eq!(s.at(&[0, 0, 0]), 4.0);
+    }
+}

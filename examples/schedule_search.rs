@@ -1,0 +1,69 @@
+//! Automated schedule derivation: run the Fig. 3 sensitivity analysis
+//! and turn it into per-block TTD targets programmatically
+//! (`core::schedule_search`), then TTD-train against the derived
+//! schedule — the paper's Sec. IV-B loop, fully automated.
+//!
+//! Run with: `cargo run --example schedule_search --release`
+
+use antidote_repro::core::schedule_search::{derive_schedule, SearchOptions};
+use antidote_repro::core::trainer::{self, TrainConfig};
+use antidote_repro::core::{train_ttd, TtdConfig};
+use antidote_repro::data::SynthConfig;
+use antidote_repro::models::{NoopHook, Vgg, VggConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let data = SynthConfig::synth_cifar10().with_samples(24, 8).generate();
+    let mut rng = SmallRng::seed_from_u64(0x5EA2);
+    let mut net = Vgg::new(
+        &mut rng,
+        VggConfig::vgg_small(32, 10, 8).with_batchnorm(),
+    );
+    let cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    println!("pre-training VGG…");
+    trainer::train(&mut net, &data, &mut NoopHook, &cfg);
+    let base = trainer::evaluate_plain(&mut net, &data.test, 32);
+    println!("baseline accuracy: {:.1}%", base * 100.0);
+
+    // Derive per-block ratios from sensitivity (≤5-point drop, ≤0.9).
+    let sweep = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9];
+    let schedule = derive_schedule(
+        &mut net,
+        &data.test,
+        5,
+        &sweep,
+        32,
+        SearchOptions::default(),
+    );
+    println!(
+        "derived channel schedule: {:?} (paper hand-tuned [0.2, 0.2, 0.6, 0.9, 0.9])",
+        schedule.channel_prune()
+    );
+
+    // TTD-train a fresh model against the derived schedule.
+    let mut rng2 = SmallRng::seed_from_u64(0x5EA2);
+    let mut fresh = Vgg::new(
+        &mut rng2,
+        VggConfig::vgg_small(32, 10, 8).with_batchnorm(),
+    );
+    let mut ttd = TtdConfig::new(schedule, 16);
+    ttd.train = TrainConfig {
+        epochs: 16,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    println!("TTD training against the derived schedule…");
+    let outcome = train_ttd(&mut fresh, &data, &ttd);
+    let mut pruner = outcome.pruner;
+    let pruned = trainer::evaluate(&mut fresh, &data.test, &mut pruner, 32);
+    println!(
+        "dynamic-pruned accuracy with derived schedule: {:.1}% (baseline {:.1}%)",
+        pruned * 100.0,
+        base * 100.0
+    );
+}

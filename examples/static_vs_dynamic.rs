@@ -1,0 +1,90 @@
+//! Static vs dynamic pruning head-to-head (the core comparison of
+//! Table I): the same trained network is pruned (a) statically with
+//! L1-ranked fixed masks + fine-tuning, and (b) dynamically with
+//! attention masks after TTD training — at the same per-block ratios.
+//!
+//! Run with: `cargo run --example static_vs_dynamic --release`
+
+use antidote_repro::baselines::{prune_statically, StaticMethod, StaticPruneConfig};
+use antidote_repro::core::trainer::{self, TrainConfig};
+use antidote_repro::core::{train_ttd, PruneSchedule, TtdConfig};
+use antidote_repro::data::SynthConfig;
+use antidote_repro::models::{NoopHook, Vgg, VggConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let data = SynthConfig::tiny(4, 16).with_samples(32, 8).generate();
+    let schedule = PruneSchedule::channel_only(vec![0.25, 0.5]);
+    let epochs = 10;
+    let train_cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+
+    // --- static: train plain, rank by L1, mask, finetune -------------
+    let mut rng = SmallRng::seed_from_u64(0x57A7);
+    let mut static_net = Vgg::new(&mut rng, VggConfig::vgg_tiny(16, 4));
+    trainer::train(&mut static_net, &data, &mut NoopHook, &train_cfg);
+    let base_acc = trainer::evaluate_plain(&mut static_net, &data.test, 16);
+    let cfg = StaticPruneConfig {
+        method: StaticMethod::L1,
+        schedule: schedule.clone(),
+        finetune: TrainConfig {
+            epochs: epochs / 2,
+            lr_max: 0.01,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
+        ranking_batches: 4,
+    };
+    let static_outcome = prune_statically(&mut static_net, &data, &cfg);
+
+    // --- dynamic: TTD train, attention-prune, NO finetune -------------
+    let mut rng2 = SmallRng::seed_from_u64(0x57A7);
+    let mut dyn_net = Vgg::new(&mut rng2, VggConfig::vgg_tiny(16, 4));
+    let mut ttd_cfg = TtdConfig::new(schedule.clone(), epochs);
+    ttd_cfg.train = train_cfg;
+    let outcome = train_ttd(&mut dyn_net, &data, &ttd_cfg);
+    let mut pruner = outcome.pruner;
+    let dynamic_acc = trainer::evaluate(&mut dyn_net, &data.test, &mut pruner, 16);
+
+    println!("per-block channel prune ratios: {:?}", schedule.channel_prune());
+    println!("unpruned baseline accuracy     : {:>6.1}%", base_acc * 100.0);
+    println!(
+        "static  (L1 + finetune)        : {:>6.1}%  (before finetune {:.1}%)",
+        static_outcome.post_finetune_acc * 100.0,
+        static_outcome.pre_finetune_acc * 100.0
+    );
+    println!(
+        "dynamic (TTD + attention masks): {:>6.1}%  (no fine-tuning needed)",
+        dynamic_acc * 100.0
+    );
+    // Bonus: static masks are input-independent, so they can be compiled
+    // into a physically smaller network (filter surgery) for deployment.
+    let mut masks = std::collections::BTreeMap::new();
+    for tap in antidote_repro::models::Network::taps(&static_net) {
+        if let Some(m) = static_outcome.hook.mask(tap.id.0) {
+            masks.insert(tap.id.0, m.to_vec());
+        }
+    }
+    let full_params = antidote_repro::models::Network::param_count(&mut static_net);
+    let mut shrunk = static_net.shrink(&masks);
+    println!(
+        "\nfilter surgery: {} params -> {} params ({} MACs -> {} MACs per image)",
+        full_params,
+        shrunk.param_count(),
+        antidote_repro::models::Network::conv_shapes(&static_net)
+            .iter()
+            .map(|s| s.macs())
+            .sum::<u64>(),
+        shrunk.macs(16, 16),
+    );
+    println!(
+        "key difference: the static mask removes the SAME channels for every \
+         input (and can be compiled away); the dynamic mask re-selects \
+         channels per input, recovering channels that matter for specific \
+         inputs (Sec. III-B of the paper)."
+    );
+}

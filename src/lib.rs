@@ -1,0 +1,49 @@
+//! # antidote-repro
+//!
+//! Umbrella crate of the Rust reproduction of *AntiDote:
+//! Attention-based Dynamic Optimization for Neural Network Runtime
+//! Efficiency* (Yu, Liu, Wang, Wang, Chen — DATE 2020).
+//!
+//! Everything is re-exported under one roof so examples and downstream
+//! users need a single dependency:
+//!
+//! - [`tensor`]: dense f32 tensors, GEMM, im2col ([`antidote_tensor`]);
+//! - [`nn`]: layers with backprop, SGD, masked conv ([`antidote_nn`]);
+//! - [`data`]: synthetic vision datasets ([`antidote_data`]);
+//! - [`models`]: VGG/ResNet with feature taps ([`antidote_models`]);
+//! - [`core`]: attention, dynamic pruning, TTD, FLOPs
+//!   ([`antidote_core`]);
+//! - [`baselines`]: L1/Taylor/GM/FO static pruning
+//!   ([`antidote_baselines`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use antidote_repro::core::{DynamicPruner, PruneSchedule, trainer};
+//! use antidote_repro::data::SynthConfig;
+//! use antidote_repro::models::{Vgg, VggConfig};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // A tiny synthetic dataset and VGG.
+//! let data = SynthConfig::tiny(2, 8).generate();
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+//!
+//! // Dynamically prune 50% of block-2 channels, measuring real MACs.
+//! let mut pruner = DynamicPruner::new(PruneSchedule::new(vec![0.0, 0.5], vec![]));
+//! let (acc, macs) = trainer::evaluate_measured(&mut net, &data.test, &mut pruner, 8);
+//! assert!(acc >= 0.0 && macs > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the Table I / Fig. 2–4 regenerators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use antidote_baselines as baselines;
+pub use antidote_core as core;
+pub use antidote_data as data;
+pub use antidote_models as models;
+pub use antidote_nn as nn;
+pub use antidote_tensor as tensor;

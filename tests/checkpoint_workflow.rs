@@ -1,0 +1,54 @@
+//! Checkpoint workflow: TTD-train, save, reload into a fresh network,
+//! and verify the reloaded model prunes identically.
+
+use antidote_repro::core::checkpoint::Checkpoint;
+use antidote_repro::core::trainer::{self, TrainConfig};
+use antidote_repro::core::{train_ttd, DynamicPruner, PruneSchedule, TtdConfig};
+use antidote_repro::data::SynthConfig;
+use antidote_repro::models::{Network, Vgg, VggConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn ttd_checkpoint_round_trip_preserves_pruned_accuracy() {
+    let data = SynthConfig::tiny(3, 8).with_samples(16, 8).generate();
+    let schedule = PruneSchedule::new(vec![0.25, 0.5], vec![]);
+    let mut rng = SmallRng::seed_from_u64(0xCC);
+    let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3));
+    let mut cfg = TtdConfig::new(schedule.clone(), 6);
+    cfg.train = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::fast_test()
+    };
+    let outcome = train_ttd(&mut net, &data, &cfg);
+    let mut pruner = outcome.pruner;
+    let acc_before = trainer::evaluate(&mut net, &data.test, &mut pruner, 8);
+
+    // Save + reload into a *differently initialized* network.
+    let ckpt = Checkpoint::capture(&mut net as &mut dyn Network);
+    let path = std::env::temp_dir().join("antidote_workflow_ckpt.json");
+    ckpt.save(&path).expect("save succeeds");
+    let loaded = Checkpoint::load(&path).expect("load succeeds");
+    let mut rng2 = SmallRng::seed_from_u64(0xDD);
+    let mut fresh = Vgg::new(&mut rng2, VggConfig::vgg_tiny(8, 3));
+    loaded
+        .restore(&mut fresh as &mut dyn Network)
+        .expect("shapes match");
+
+    let mut pruner2 = DynamicPruner::new(schedule);
+    let acc_after = trainer::evaluate(&mut fresh, &data.test, &mut pruner2, 8);
+    assert!(
+        (acc_before - acc_after).abs() < 1e-6,
+        "reloaded model must prune identically: {acc_before} vs {acc_after}"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn checkpoint_architecture_string_matches_network() {
+    let mut rng = SmallRng::seed_from_u64(0xEE);
+    let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+    let ckpt = Checkpoint::capture(&mut net as &mut dyn Network);
+    assert_eq!(ckpt.architecture, net.describe());
+    assert!(ckpt.architecture.starts_with("vgg("));
+}

@@ -1,0 +1,113 @@
+//! Cross-validation of the two FLOPs accounting paths: the analytic
+//! model (paper-scale arithmetic) and the measured MAC counter (actual
+//! skipped computation) must agree on the *reduction* within a tolerance
+//! determined by border effects and pooling-mask propagation.
+
+use antidote_repro::core::flops::analytic_flops;
+use antidote_repro::core::trainer::evaluate_measured;
+use antidote_repro::core::{DynamicPruner, PruneSchedule};
+use antidote_repro::data::SynthConfig;
+use antidote_repro::models::{Network, NoopHook, ResNet, ResNetConfig, Vgg, VggConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Measured reduction on the scaled net for a schedule.
+fn measured_reduction(net: &mut dyn Network, image_size: usize, schedule: &PruneSchedule) -> f64 {
+    let data = SynthConfig::tiny(2, image_size).with_samples(2, 4).generate();
+    let (_, dense) = evaluate_measured(net, &data.test, &mut NoopHook, 4);
+    let mut pruner = DynamicPruner::new(schedule.clone());
+    let (_, pruned) = evaluate_measured(net, &data.test, &mut pruner, 4);
+    100.0 * (1.0 - pruned / dense)
+}
+
+#[test]
+fn vgg_channel_pruning_analytic_vs_measured() {
+    // Channel-only pruning survives pooling exactly, so analytic and
+    // measured reductions should track closely (same-architecture FLOPs
+    // model evaluated on the scaled config).
+    let cfg = VggConfig::vgg_small(32, 2, 4);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut net = Vgg::new(&mut rng, cfg.clone());
+    let schedule = PruneSchedule::channel_only(vec![0.5, 0.5, 0.5, 0.5, 0.5]);
+    let analytic = analytic_flops(&cfg.conv_shapes(), &schedule).reduction_pct();
+    let measured = measured_reduction(&mut net, 32, &schedule);
+    assert!(
+        (analytic - measured).abs() < 12.0,
+        "analytic {analytic}% vs measured {measured}%"
+    );
+    assert!(measured > 20.0, "half-channel pruning must save real work");
+}
+
+#[test]
+fn resnet_pruning_analytic_vs_measured() {
+    let cfg = ResNetConfig::resnet_small(16, 2, 4);
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut net = ResNet::new(&mut rng, cfg.clone());
+    let schedule = PruneSchedule::new(vec![0.4, 0.4, 0.4], vec![0.5, 0.5, 0.5]);
+    let analytic = analytic_flops(&cfg.conv_shapes(), &schedule).reduction_pct();
+    let measured = measured_reduction(&mut net, 16, &schedule);
+    // ResNet's projection convs and head are unmodeled; allow a wider gap
+    // but require agreement in magnitude.
+    assert!(
+        (analytic - measured).abs() < 18.0,
+        "analytic {analytic}% vs measured {measured}%"
+    );
+    assert!(measured > 10.0);
+}
+
+#[test]
+fn more_aggressive_schedules_reduce_more_everywhere() {
+    // Monotonicity must hold in BOTH accounting paths.
+    let cfg = VggConfig::vgg_small(32, 2, 4);
+    let mut rng = SmallRng::seed_from_u64(13);
+    let mut net = Vgg::new(&mut rng, cfg.clone());
+    let mild = PruneSchedule::channel_only(vec![0.2; 5]);
+    let aggressive = PruneSchedule::channel_only(vec![0.8; 5]);
+    let a_mild = analytic_flops(&cfg.conv_shapes(), &mild).reduction_pct();
+    let a_aggr = analytic_flops(&cfg.conv_shapes(), &aggressive).reduction_pct();
+    assert!(a_aggr > a_mild);
+    let m_mild = measured_reduction(&mut net, 32, &mild);
+    let m_aggr = measured_reduction(&mut net, 32, &aggressive);
+    assert!(
+        m_aggr > m_mild,
+        "measured monotonicity: {m_mild}% !< {m_aggr}%"
+    );
+}
+
+#[test]
+fn spatial_pruning_saves_within_blocks() {
+    // Spatial masks are diluted by max-pool propagation across block
+    // boundaries ("any-of-window" keeps more positions), so measured
+    // savings are below analytic — but must still be substantial inside
+    // multi-layer blocks.
+    let cfg = VggConfig::vgg_small(32, 2, 4);
+    let mut rng = SmallRng::seed_from_u64(14);
+    let mut net = Vgg::new(&mut rng, cfg);
+    let schedule = PruneSchedule::spatial_only(vec![0.6; 5]);
+    let data = SynthConfig::tiny(2, 32).with_samples(2, 2).generate();
+    let (_, dense) = evaluate_measured(&mut net, &data.test, &mut NoopHook, 2);
+    let mut pruner = DynamicPruner::new(schedule);
+    let (_, pruned) = evaluate_measured(&mut net, &data.test, &mut pruner, 2);
+    let reduction = 100.0 * (1.0 - pruned / dense);
+    assert!(
+        reduction > 15.0,
+        "spatial pruning should skip real work, got {reduction}%"
+    );
+}
+
+#[test]
+fn paper_scale_baselines_are_exact() {
+    // The three baseline FLOPs of Table I, reproduced to within 2%.
+    let checks = [
+        (VggConfig::vgg16(32, 10).conv_shapes(), 3.13e8),
+        (ResNetConfig::resnet56(32, 10).conv_shapes(), 1.28e8),
+        (VggConfig::vgg16(224, 100).conv_shapes(), 1.52e10),
+    ];
+    for (shapes, expected) in checks {
+        let total: u64 = shapes.iter().map(|s| s.macs()).sum();
+        assert!(
+            (total as f64 - expected).abs() / expected < 0.02,
+            "baseline {total} vs paper {expected}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace-level property tests: invariants of masks, schedules and
+//! the pruning runtime under arbitrary inputs.
+
+use antidote_repro::core::flops::analytic_flops;
+use antidote_repro::core::mask::{binarize, MaskPolicy};
+use antidote_repro::core::{DynamicPruner, PruneSchedule};
+use antidote_repro::models::{Network, TapId, TapInfo, VggConfig};
+use antidote_repro::models::FeatureHook;
+use antidote_repro::nn::Mode;
+use antidote_repro::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topk_mask_keeps_exactly_rounded_k(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        keep in 0.0f64..=1.0,
+    ) {
+        let mask = binarize(&values, keep, MaskPolicy::TopK);
+        let expected = ((keep * values.len() as f64).round() as usize).min(values.len());
+        prop_assert_eq!(mask.iter().filter(|&&b| b).count(), expected);
+    }
+
+    #[test]
+    fn kept_values_dominate_pruned_values(
+        values in proptest::collection::vec(-10.0f32..10.0, 2..64),
+        keep in 0.1f64..0.9,
+    ) {
+        let mask = binarize(&values, keep, MaskPolicy::TopK);
+        let min_kept = values.iter().zip(&mask).filter(|(_, &m)| m)
+            .map(|(&v, _)| v).fold(f32::INFINITY, f32::min);
+        let max_pruned = values.iter().zip(&mask).filter(|(_, &m)| !m)
+            .map(|(&v, _)| v).fold(f32::NEG_INFINITY, f32::max);
+        if min_kept.is_finite() && max_pruned.is_finite() {
+            prop_assert!(min_kept >= max_pruned);
+        }
+    }
+
+    #[test]
+    fn analytic_reduction_is_monotone_in_ratio(
+        base in 0.0f64..0.5,
+        extra in 0.0f64..0.5,
+    ) {
+        let shapes = VggConfig::vgg16(32, 10).conv_shapes();
+        let mild = PruneSchedule::channel_only(vec![base; 5]);
+        let aggr = PruneSchedule::channel_only(vec![base + extra; 5]);
+        let r1 = analytic_flops(&shapes, &mild).reduction_pct();
+        let r2 = analytic_flops(&shapes, &aggr).reduction_pct();
+        prop_assert!(r2 + 1e-9 >= r1);
+        prop_assert!((0.0..=100.0).contains(&r1));
+        prop_assert!((0.0..=100.0).contains(&r2));
+    }
+
+    #[test]
+    fn analytic_reduction_bounded_by_full_prune(ratios in proptest::collection::vec(0.0f64..=1.0, 5)) {
+        let shapes = VggConfig::vgg16(32, 10).conv_shapes();
+        let r = analytic_flops(&shapes, &PruneSchedule::channel_only(ratios)).reduction_pct();
+        // First layer is never reduced, so 100% is unreachable.
+        prop_assert!(r < 100.0);
+        prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn pruner_masks_keep_requested_fraction(
+        c in 2usize..16,
+        h in 2usize..6,
+        prune in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let f = Tensor::from_fn([1, c, h, h], |i| ((i as u64 * 31 + seed) % 97) as f32 * 0.1);
+        let mut pruner = DynamicPruner::new(PruneSchedule::new(vec![prune], vec![]));
+        let tap = TapInfo { id: TapId(0), block: 0, channels: c, spatial: h };
+        match pruner.on_feature(tap, &f, Mode::Eval) {
+            None => prop_assert!(prune == 0.0),
+            Some(masks) => {
+                let kept = masks[0].channel.as_ref().map(|m| m.iter().filter(|&&b| b).count());
+                if let Some(kept) = kept {
+                    let expected = (((1.0 - prune) * c as f64).round() as usize).min(c);
+                    prop_assert_eq!(kept, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_scaled_and_capped_stay_valid(
+        ratios in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        factor in 0.0f64..2.0,
+        cap in 0.0f64..=1.0,
+    ) {
+        let s = PruneSchedule::channel_only(ratios);
+        for r in s.scaled(factor).channel_prune() {
+            prop_assert!((0.0..=1.0).contains(r));
+        }
+        for (orig, capped) in s.channel_prune().iter().zip(s.capped(cap).channel_prune()) {
+            prop_assert!(*capped <= *orig + 1e-12);
+            prop_assert!(*capped <= cap + 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn forward_hooked_output_is_finite_under_any_schedule(
+        p1 in 0.0f64..=0.9,
+        p2 in 0.0f64..=0.9,
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        use antidote_repro::models::Vgg;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        let mut pruner = DynamicPruner::new(PruneSchedule::new(vec![p1, p2], vec![p2, 0.0]));
+        let x = Tensor::from_fn([2, 3, 8, 8], |i| ((i as u64 + seed) % 13) as f32 * 0.1 - 0.6);
+        let y = net.forward_hooked(&x, Mode::Eval, &mut pruner);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(y.dims(), &[2, 2]);
+    }
+}
