@@ -131,11 +131,7 @@ fn taylor_scores(
 ) -> FilterScores {
     // Accumulate |Σ W ⊙ dW| per filter over a few minibatches.
     let mut acc: FilterScores = FilterScores::new();
-    let mut batches = 0;
-    for (images, labels) in BatchIter::new(split, batch_size, Some(0x7A97)) {
-        if batches >= max_batches {
-            break;
-        }
+    for (images, labels) in BatchIter::new(split, batch_size, Some(0x7A97)).take(max_batches) {
         let logits = net.forward(&images, Mode::Train);
         let out = softmax_cross_entropy(&logits, &labels);
         net.zero_grad();
@@ -155,7 +151,6 @@ fn taylor_scores(
                 *slot += dot.abs();
             }
         });
-        batches += 1;
     }
     net.zero_grad();
     acc
@@ -169,14 +164,9 @@ fn fo_scores(
     max_batches: usize,
 ) -> FilterScores {
     let mut recorder = ActivationRecorder::new(classes);
-    let mut batches = 0;
-    for (images, labels) in BatchIter::new(split, batch_size, Some(0xF0)) {
-        if batches >= max_batches {
-            break;
-        }
+    for (images, labels) in BatchIter::new(split, batch_size, Some(0xF0)).take(max_batches) {
         recorder.set_labels(&labels);
         let _ = net.forward_hooked(&images, Mode::Eval, &mut recorder);
-        batches += 1;
     }
     let mut scores = FilterScores::new();
     for tap in recorder.taps() {

@@ -30,6 +30,7 @@ fn bench_ttd_overhead(c: &mut Criterion) {
                 None,
                 8,
                 1,
+                None,
             ))
         })
     });
@@ -47,6 +48,7 @@ fn bench_ttd_overhead(c: &mut Criterion) {
                 None,
                 8,
                 1,
+                None,
             ))
         })
     });

@@ -3,11 +3,22 @@
 //! all, compared at the same final dynamic-pruning schedule.
 //!
 //! Usage: `cargo run -p antidote-bench --bin ttd_ascent --release`
+//!
+//! The ascent run (variant 2) supports resumable checkpoints:
+//!
+//! - `ANTIDOTE_CKPT=<path>` — write a resumable checkpoint there as the
+//!   run progresses;
+//! - `ANTIDOTE_CKPT_EVERY=<n>` — save every `n` epochs (default: only at
+//!   the end of the invocation);
+//! - `ANTIDOTE_RESUME=<path>` — continue a previous (killed) run from
+//!   its checkpoint;
+//! - `ANTIDOTE_STOP_AFTER=<n>` — stop after `n` epochs this invocation
+//!   (simulates a kill for testing resume).
 
 use antidote_bench::{ReproWorkload, Scale};
 use antidote_core::settings::{proposed_settings, Workload};
 use antidote_core::trainer::{evaluate, evaluate_plain, train, TrainConfig};
-use antidote_core::{train_ttd, DynamicPruner, TtdConfig};
+use antidote_core::{train_ttd, train_ttd_with_options, DynamicPruner, RunOptions, TtdConfig};
 use antidote_models::NoopHook;
 
 fn main() {
@@ -33,11 +44,36 @@ fn main() {
     let mut pruner = DynamicPruner::new(setting.schedule.clone());
     let plain_pruned = evaluate(plain.as_mut(), &data.test, &mut pruner, rw.batch_size);
 
-    // 2. TTD with ratio ascent (the paper's method).
+    // 2. TTD with ratio ascent (the paper's method), with optional
+    //    resumable checkpointing driven by the environment.
+    let run_opts = RunOptions {
+        resume_from: std::env::var("ANTIDOTE_RESUME").ok().map(Into::into),
+        checkpoint_to: std::env::var("ANTIDOTE_CKPT").ok().map(Into::into),
+        checkpoint_every: std::env::var("ANTIDOTE_CKPT_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        stop_after_epochs: std::env::var("ANTIDOTE_STOP_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        ..RunOptions::default()
+    };
     let mut ttd = rw.build_network(0x77D);
     let mut cfg = TtdConfig::new(setting.schedule.clone(), rw.epochs);
     cfg.train = train_cfg;
-    let outcome = train_ttd(ttd.as_mut(), &data, &cfg);
+    let outcome = match train_ttd_with_options(ttd.as_mut(), &data, &cfg, &run_opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("TTD ascent run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if run_opts.stop_after_epochs.is_some() {
+        println!(
+            "stopped after {} epoch(s) this invocation (resume with ANTIDOTE_RESUME)",
+            outcome.history.epochs.len()
+        );
+    }
     let mut p2 = outcome.pruner;
     let ttd_pruned = evaluate(ttd.as_mut(), &data.test, &mut p2, rw.batch_size);
 

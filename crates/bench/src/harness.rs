@@ -3,15 +3,19 @@
 
 use crate::workloads::ReproWorkload;
 use antidote_baselines::{prune_statically, StaticMethod, StaticPruneConfig};
+use antidote_core::checkpoint::{restore_tensors, LoadCheckpointError};
 use antidote_core::flops::analytic_flops;
 use antidote_core::report::ExperimentRow;
 use antidote_core::settings::{baseline_rows, PaperSetting, Workload};
 use antidote_core::trainer::{
-    evaluate, evaluate_measured, evaluate_plain, train, TrainConfig,
+    evaluate, evaluate_measured, evaluate_plain, train_with_options, TrainConfig,
 };
-use antidote_core::{train_ttd, PruneSchedule, TtdConfig};
+use antidote_core::{
+    train_ttd_with_options, PruneSchedule, RecoverySettings, RunOptions, TrainError, TtdConfig,
+};
 use antidote_models::{Network, NoopHook};
 use antidote_tensor::Tensor;
+use std::fmt;
 
 /// Copies every trainable parameter of `net` (used to reset a trained
 /// network between static-baseline runs so all methods start from the
@@ -24,19 +28,125 @@ pub fn snapshot_params(net: &mut dyn Network) -> Vec<Tensor> {
 
 /// Restores a parameter snapshot taken with [`snapshot_params`].
 ///
-/// # Panics
+/// Shares the validate-first restore path with
+/// [`antidote_core::checkpoint::Checkpoint::restore`]: on any mismatch a
+/// typed error is returned and the network is left untouched.
 ///
-/// Panics if the snapshot does not match the network's parameter list.
-pub fn restore_params(net: &mut dyn Network, snapshot: &[Tensor]) {
-    let mut i = 0;
-    net.visit_params_mut(&mut |p| {
-        assert!(i < snapshot.len(), "snapshot/parameter count mismatch");
-        p.value = snapshot[i].clone();
-        p.zero_grad();
-        i += 1;
-    });
-    assert_eq!(i, snapshot.len(), "snapshot/parameter count mismatch");
+/// # Errors
+///
+/// [`LoadCheckpointError::ParamCountMismatch`] or
+/// [`LoadCheckpointError::ShapeMismatch`] when the snapshot does not
+/// match the network's parameter list.
+pub fn restore_params(
+    net: &mut dyn Network,
+    snapshot: &[Tensor],
+) -> Result<(), LoadCheckpointError> {
+    restore_tensors(net, snapshot)
 }
+
+/// Per-run knobs of the workload runner: recovery bounds, gradient
+/// clipping, and fault injection for exercising the failure paths.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadRunOptions {
+    /// Divergence-recovery bounds for the training runs.
+    pub recovery: RecoverySettings,
+    /// Optional global-L2 gradient clipping threshold.
+    pub grad_clip: Option<f32>,
+    /// Inject a NaN fault after this baseline-training epoch (testing
+    /// knob; `None` disables injection).
+    pub inject_fault_epoch: Option<usize>,
+    /// Restrict injection to one workload, by key (`vgg16_cifar10`) or
+    /// display name (`VGG16 (CIFAR10)`); `None` injects into every
+    /// workload.
+    pub inject_workload: Option<String>,
+}
+
+impl WorkloadRunOptions {
+    /// Reads options from the environment:
+    ///
+    /// - `ANTIDOTE_MAX_RETRIES` — divergence rollbacks allowed per run;
+    /// - `ANTIDOTE_LR_BACKOFF` — learning-rate factor per rollback;
+    /// - `ANTIDOTE_GRAD_CLIP` — global-L2 gradient clipping threshold;
+    /// - `ANTIDOTE_INJECT_FAULT` — epoch to inject a NaN fault after;
+    /// - `ANTIDOTE_INJECT_WORKLOAD` — restrict injection to one workload.
+    ///
+    /// Values that fail to parse — including non-positive or non-finite
+    /// `ANTIDOTE_LR_BACKOFF` / `ANTIDOTE_GRAD_CLIP` — are ignored with a
+    /// warning on stderr, keeping the defaults.
+    pub fn from_env() -> Self {
+        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+            let raw = std::env::var(key).ok()?;
+            let parsed = raw.parse().ok();
+            if parsed.is_none() {
+                eprintln!("warning: ignoring unparseable {key}={raw}");
+            }
+            parsed
+        }
+        fn positive(key: &str) -> Option<f32> {
+            let f: f32 = parse(key)?;
+            if f.is_finite() && f > 0.0 {
+                Some(f)
+            } else {
+                eprintln!("warning: ignoring {key}={f}: must be positive and finite");
+                None
+            }
+        }
+        let mut opts = Self::default();
+        if let Some(n) = parse::<usize>("ANTIDOTE_MAX_RETRIES") {
+            opts.recovery.max_retries = n;
+        }
+        if let Some(f) = positive("ANTIDOTE_LR_BACKOFF") {
+            opts.recovery.lr_backoff = f;
+        }
+        opts.grad_clip = positive("ANTIDOTE_GRAD_CLIP");
+        opts.inject_fault_epoch = parse::<usize>("ANTIDOTE_INJECT_FAULT");
+        opts.inject_workload = std::env::var("ANTIDOTE_INJECT_WORKLOAD").ok();
+        opts
+    }
+}
+
+/// Typed failure of one Table I workload: which stage failed and why.
+/// The experiment binaries turn these into
+/// [`antidote_core::report::FailureRecord`] rows instead of aborting.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The plain baseline training run failed.
+    Baseline(TrainError),
+    /// A TTD run for one "Proposed" setting failed.
+    Ttd {
+        /// Name of the setting whose run failed.
+        setting: String,
+        /// The underlying training error.
+        error: TrainError,
+    },
+    /// Restoring the shared trained snapshot failed.
+    Restore(LoadCheckpointError),
+}
+
+impl WorkloadError {
+    /// Short stage label for failure records.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            WorkloadError::Baseline(_) => "baseline-train",
+            WorkloadError::Ttd { .. } => "ttd",
+            WorkloadError::Restore(_) => "restore",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Baseline(e) => write!(f, "baseline training failed: {e}"),
+            WorkloadError::Ttd { setting, error } => {
+                write!(f, "TTD run for '{setting}' failed: {error}")
+            }
+            WorkloadError::Restore(e) => write!(f, "snapshot restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// The per-block channel schedule given to every static baseline — the
 /// strongest static schedule Table I quotes (FO pruning's
@@ -67,11 +177,21 @@ pub struct WorkloadResult {
 /// training, the four static baselines (rank → mask → finetune from the
 /// same trained weights), and TTD + dynamic pruning for each "Proposed"
 /// setting.
+///
+/// Training runs execute under the recovery supervisor configured in
+/// `opts`; a run that diverges beyond its retry budget (or a snapshot
+/// mismatch) is returned as a typed [`WorkloadError`] so callers can
+/// isolate the failure instead of aborting the whole experiment.
+///
+/// # Errors
+///
+/// [`WorkloadError`] naming the failed stage.
 pub fn run_table1_workload(
     rw: &ReproWorkload,
     settings: &[PaperSetting],
     seed: u64,
-) -> WorkloadResult {
+    opts: &WorkloadRunOptions,
+) -> Result<WorkloadResult, WorkloadError> {
     let data = rw.data.generate();
     let paper_shapes = rw.paper_shapes();
     let paper_baseline_macs: u64 = paper_shapes.iter().map(|s| s.macs()).sum();
@@ -82,10 +202,37 @@ pub fn run_table1_workload(
     let train_cfg = TrainConfig {
         epochs: rw.epochs,
         batch_size: rw.batch_size,
+        grad_clip: opts.grad_clip,
         ..TrainConfig::default()
     };
+    let inject_here = opts
+        .inject_workload
+        .as_deref()
+        .is_none_or(|w| rw.workload.matches(w));
+    let baseline_run = RunOptions {
+        recovery: opts.recovery,
+        inject_nan_at_epoch: opts.inject_fault_epoch.filter(|_| inject_here),
+        ..RunOptions::default()
+    };
     let mut baseline_net = rw.build_network(seed);
-    train(baseline_net.as_mut(), &data, &mut NoopHook, &train_cfg);
+    let baseline_history = train_with_options(
+        baseline_net.as_mut(),
+        &data,
+        &mut NoopHook,
+        &train_cfg,
+        &baseline_run,
+    )
+    .map_err(WorkloadError::Baseline)?;
+    for event in &baseline_history.recoveries {
+        notes.push(format!(
+            "{}: recovered from {} at epoch {} (attempt {}, lr scale {:.3})",
+            rw.workload.name(),
+            event.kind,
+            event.epoch,
+            event.attempt,
+            event.lr_scale,
+        ));
+    }
     let baseline_acc = evaluate_plain(baseline_net.as_mut(), &data.test, rw.batch_size) * 100.0;
     let (_, dense_macs_per_img) =
         evaluate_measured(baseline_net.as_mut(), &data.test, &mut NoopHook, rw.batch_size);
@@ -111,7 +258,7 @@ pub fn run_table1_workload(
         let Some(paper_row) = paper_row else {
             continue;
         };
-        restore_params(baseline_net.as_mut(), &trained_snapshot);
+        restore_params(baseline_net.as_mut(), &trained_snapshot).map_err(WorkloadError::Restore)?;
         let cfg = StaticPruneConfig {
             method,
             schedule: static_schedule.clone(),
@@ -119,6 +266,7 @@ pub fn run_table1_workload(
                 epochs: rw.finetune_epochs,
                 lr_max: 0.01,
                 batch_size: rw.batch_size,
+                grad_clip: opts.grad_clip,
                 ..TrainConfig::default()
             },
             ranking_batches: 4,
@@ -151,7 +299,17 @@ pub fn run_table1_workload(
             epochs: ttd_epochs,
             ..train_cfg
         };
-        let outcome = train_ttd(net.as_mut(), &data, &cfg);
+        let ttd_run = RunOptions {
+            recovery: opts.recovery,
+            ..RunOptions::default()
+        };
+        let outcome =
+            train_ttd_with_options(net.as_mut(), &data, &cfg, &ttd_run).map_err(|error| {
+                WorkloadError::Ttd {
+                    setting: setting.name.clone(),
+                    error,
+                }
+            })?;
         let mut pruner = outcome.pruner;
         let acc = evaluate(net.as_mut(), &data.test, &mut pruner, rw.batch_size) * 100.0;
         let (acc_measured, pruned_macs_per_img) =
@@ -183,16 +341,23 @@ pub fn run_table1_workload(
             paper_accuracy_drop_pct: setting.paper_accuracy_drop_pct,
         });
     }
-    WorkloadResult { rows, notes }
+    Ok(WorkloadResult { rows, notes })
 }
 
 /// Writes an experiment report to `results/<name>.json` under the
 /// workspace root (best effort — printing is the primary output).
+///
+/// The file is written atomically (temporary sibling + rename) so a
+/// crash mid-write never leaves a truncated report at the final path.
 pub fn write_report(report: &antidote_core::report::ExperimentReport, name: &str) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{name}.json")), report.to_json());
+        let path = dir.join(format!("{name}.json"));
+        let tmp = dir.join(format!(".{name}.json.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, report.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 }
 
@@ -214,7 +379,7 @@ mod tests {
                 *v += 1.0;
             }
         });
-        restore_params(net.as_mut(), &snap);
+        restore_params(net.as_mut(), &snap).unwrap();
         let mut i = 0;
         net.visit_params_mut(&mut |p| {
             assert_eq!(p.value.data(), snap[i].data());
@@ -223,13 +388,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mismatch")]
     fn restore_validates_length() {
         let rw = ReproWorkload::for_workload(Workload::Vgg16Cifar10, Scale::Quick);
         let mut net = rw.build_network(5);
         let mut snap = snapshot_params(net.as_mut());
         snap.pop();
-        restore_params(net.as_mut(), &snap);
+        let before = snapshot_params(net.as_mut());
+        let err = restore_params(net.as_mut(), &snap).unwrap_err();
+        assert!(matches!(
+            err,
+            LoadCheckpointError::ParamCountMismatch { .. }
+        ));
+        // The failed restore must leave the network untouched.
+        let after = snapshot_params(net.as_mut());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn restore_validates_shapes() {
+        let rw = ReproWorkload::for_workload(Workload::Vgg16Cifar10, Scale::Quick);
+        let mut net = rw.build_network(5);
+        let mut snap = snapshot_params(net.as_mut());
+        let last = snap.len() - 1;
+        snap[last] = Tensor::zeros([1, 2, 3]);
+        assert!(matches!(
+            restore_params(net.as_mut(), &snap).unwrap_err(),
+            LoadCheckpointError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn workload_options_from_env_defaults() {
+        // With none of the variables set, from_env matches Default.
+        for key in [
+            "ANTIDOTE_MAX_RETRIES",
+            "ANTIDOTE_LR_BACKOFF",
+            "ANTIDOTE_GRAD_CLIP",
+            "ANTIDOTE_INJECT_FAULT",
+            "ANTIDOTE_INJECT_WORKLOAD",
+        ] {
+            assert!(std::env::var(key).is_err(), "{key} leaked into test env");
+        }
+        let opts = WorkloadRunOptions::from_env();
+        assert_eq!(opts.recovery, RecoverySettings::default());
+        assert_eq!(opts.grad_clip, None);
+        assert_eq!(opts.inject_fault_epoch, None);
+        assert_eq!(opts.inject_workload, None);
     }
 
     #[test]

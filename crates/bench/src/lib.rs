@@ -26,6 +26,6 @@ mod workloads;
 
 pub use harness::{
     restore_params, run_table1_workload, snapshot_params, static_schedule_for, write_report,
-    WorkloadResult,
+    WorkloadError, WorkloadResult, WorkloadRunOptions,
 };
 pub use workloads::{ModelKind, ReproWorkload, Scale};

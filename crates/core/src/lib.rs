@@ -46,6 +46,7 @@ pub mod checkpoint;
 pub mod flops;
 pub mod mask;
 mod pruner;
+pub mod recovery;
 pub mod report;
 pub mod schedule_search;
 pub mod settings;
@@ -53,5 +54,11 @@ pub mod trainer;
 pub mod ttd;
 
 pub use mask::{Criterion, MaskPolicy};
-pub use pruner::{DynamicPruner, PruneSchedule, PruneStats, TapStats};
-pub use ttd::{train_ttd, RatioAscent, TtdConfig, TtdOutcome};
+pub use pruner::{DynamicPruner, PruneSchedule, PruneStats, ScheduleError, TapStats};
+pub use recovery::{
+    DivergenceKind, RecoveryEvent, RecoverySettings, RunOptions, TrainError, TrainState, TtdState,
+};
+pub use trainer::train_with_options;
+pub use ttd::{
+    train_ttd, train_ttd_with_options, AscentError, RatioAscent, TtdConfig, TtdOutcome,
+};

@@ -10,8 +10,9 @@ use antidote_tensor::reduce::topk_indices;
 use serde::{Deserialize, Serialize};
 
 /// How attention coefficients are binarized into keep-masks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum MaskPolicy {
+    #[default]
     /// Keep the top-k coefficients, `k = round(keep_fraction · len)` —
     /// the paper's Eq. 3/4 rule.
     TopK,
@@ -21,12 +22,6 @@ pub enum MaskPolicy {
         /// Multiplier on the mean attention.
         alpha: f32,
     },
-}
-
-impl Default for MaskPolicy {
-    fn default() -> Self {
-        MaskPolicy::TopK
-    }
 }
 
 /// Ranking direction: the paper's attention-based pruning keeps the

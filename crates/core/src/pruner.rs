@@ -32,20 +32,63 @@ pub struct PruneSchedule {
     spatial_prune: Vec<f64>,
 }
 
+/// Why a [`PruneSchedule`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleError {
+    /// Which ratio vector the offending value is in (`"channel"` or
+    /// `"spatial"`).
+    pub axis: &'static str,
+    /// Block index of the offending ratio.
+    pub block: usize,
+    /// The offending value (NaN, infinite, or outside `[0, 1]`).
+    pub value: f64,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} prune ratio {} (block {}) outside [0,1]",
+            self.axis, self.value, self.block
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 impl PruneSchedule {
     /// Creates a schedule from per-block *pruned* fractions.
     ///
     /// # Panics
     ///
-    /// Panics if any ratio is outside `[0, 1]`.
+    /// Panics if any ratio is NaN or outside `[0, 1]`; use
+    /// [`PruneSchedule::try_new`] for a fallible constructor.
     pub fn new(channel_prune: Vec<f64>, spatial_prune: Vec<f64>) -> Self {
-        for &r in channel_prune.iter().chain(&spatial_prune) {
-            assert!((0.0..=1.0).contains(&r), "prune ratio {r} outside [0,1]");
+        Self::try_new(channel_prune, spatial_prune).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a schedule from per-block *pruned* fractions, rejecting
+    /// NaN, infinite, and out-of-`[0, 1]` ratios with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError`] identifying the first offending ratio.
+    pub fn try_new(
+        channel_prune: Vec<f64>,
+        spatial_prune: Vec<f64>,
+    ) -> Result<Self, ScheduleError> {
+        for (axis, ratios) in [("channel", &channel_prune), ("spatial", &spatial_prune)] {
+            for (block, &value) in ratios.iter().enumerate() {
+                // `contains` is false for NaN, so this rejects NaN too.
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(ScheduleError { axis, block, value });
+                }
+            }
         }
-        Self {
+        Ok(Self {
             channel_prune,
             spatial_prune,
-        }
+        })
     }
 
     /// A schedule that prunes nothing.
@@ -341,6 +384,17 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn invalid_ratio_panics() {
         PruneSchedule::new(vec![1.2], vec![]);
+    }
+
+    #[test]
+    fn try_new_reports_axis_block_and_value() {
+        let err = PruneSchedule::try_new(vec![0.3, 1.2], vec![]).unwrap_err();
+        assert_eq!((err.axis, err.block, err.value), ("channel", 1, 1.2));
+        let err = PruneSchedule::try_new(vec![0.3], vec![0.1, -0.5]).unwrap_err();
+        assert_eq!((err.axis, err.block, err.value), ("spatial", 1, -0.5));
+        let err = PruneSchedule::try_new(vec![f64::NAN], vec![]).unwrap_err();
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("outside [0,1]"));
     }
 
     #[test]

@@ -53,6 +53,29 @@ impl ExperimentRow {
     }
 }
 
+/// A workload that failed and was isolated into a typed record instead
+/// of aborting the whole experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Workload label (model/dataset).
+    pub workload: String,
+    /// Which stage failed (e.g. `"baseline-train"`, `"ttd"`,
+    /// `"panic"`).
+    pub stage: String,
+    /// Human-readable error description.
+    pub error: String,
+}
+
+impl FailureRecord {
+    /// Formats the record like a table line.
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "{:<22} FAILED at {:<16} {}",
+            self.workload, self.stage, self.error
+        )
+    }
+}
+
 /// A complete experiment report (rows plus free-form notes), serializable
 /// to JSON for `EXPERIMENTS.md` generation.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -63,6 +86,9 @@ pub struct ExperimentReport {
     pub rows: Vec<ExperimentRow>,
     /// Free-form notes (substitutions, caveats).
     pub notes: Vec<String>,
+    /// Workloads that failed and were isolated (empty on a clean run).
+    #[serde(default)]
+    pub failures: Vec<FailureRecord>,
 }
 
 impl ExperimentReport {
@@ -123,9 +149,22 @@ mod tests {
         let mut report = ExperimentReport::new("table1");
         report.rows.push(row());
         report.notes.push("synthetic data substitution".into());
+        report.failures.push(FailureRecord {
+            workload: "VGG16 (CIFAR100)".into(),
+            stage: "baseline-train".into(),
+            error: "training diverged at epoch 3".into(),
+        });
         let json = report.to_json();
         let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_failures_field_still_parse() {
+        // Reports written before the failures field existed must load.
+        let json = r#"{"experiment":"table1","rows":[],"notes":["n"]}"#;
+        let report = ExperimentReport::from_json(json).unwrap();
+        assert!(report.failures.is_empty());
     }
 
     #[test]

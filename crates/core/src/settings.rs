@@ -36,6 +36,23 @@ impl Workload {
             Workload::Vgg16ImageNet100 => "VGG16 (ImageNet100)",
         }
     }
+
+    /// Machine-friendly key, used by the `ANTIDOTE_WORKLOAD` /
+    /// `ANTIDOTE_INJECT_WORKLOAD` environment filters.
+    pub fn key(self) -> &'static str {
+        match self {
+            Workload::Vgg16Cifar10 => "vgg16_cifar10",
+            Workload::ResNet56Cifar10 => "resnet56_cifar10",
+            Workload::Vgg16Cifar100 => "vgg16_cifar100",
+            Workload::Vgg16ImageNet100 => "vgg16_imagenet100",
+        }
+    }
+
+    /// `true` if `filter` names this workload — either its [`Self::key`]
+    /// or its display [`Self::name`].
+    pub fn matches(self, filter: &str) -> bool {
+        filter == self.key() || filter == self.name()
+    }
 }
 
 /// One "Proposed" row of Table I: a named dynamic-pruning setting.
@@ -168,6 +185,18 @@ mod tests {
     use super::*;
     use crate::flops::analytic_flops;
     use antidote_models::{ResNetConfig, VggConfig};
+
+    #[test]
+    fn workload_filters_match_key_and_display_name() {
+        for w in Workload::all() {
+            assert!(w.matches(w.key()));
+            assert!(w.matches(w.name()));
+            assert!(!w.matches("no_such_workload"));
+        }
+        // Keys are unique (they drive the env-var filters).
+        let keys: std::collections::BTreeSet<_> = Workload::all().iter().map(|w| w.key()).collect();
+        assert_eq!(keys.len(), 4);
+    }
 
     #[test]
     fn six_proposed_rows() {

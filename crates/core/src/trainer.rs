@@ -1,6 +1,7 @@
 //! Shared training/evaluation loops (used by TTD, the baselines and the
 //! experiment harness).
 
+use crate::recovery::{self, RecoveryEvent, RunOptions, TrainError, TrainState};
 use antidote_data::{Augmentation, BatchIter, Split, SynthDataset};
 use antidote_models::{FeatureHook, Network, NoopHook};
 use antidote_nn::loss::{accuracy, softmax_cross_entropy};
@@ -26,6 +27,12 @@ pub struct TrainConfig {
     pub augment: bool,
     /// Seed for shuffling/augmentation.
     pub seed: u64,
+    /// Optional global-L2 gradient clipping threshold: when the combined
+    /// L2 norm of all gradients exceeds this value, every gradient is
+    /// scaled down so the global norm equals it. `None` disables
+    /// clipping.
+    #[serde(default)]
+    pub grad_clip: Option<f32>,
 }
 
 impl Default for TrainConfig {
@@ -38,6 +45,7 @@ impl Default for TrainConfig {
             weight_decay: 5e-4,
             augment: true,
             seed: 1,
+            grad_clip: None,
         }
     }
 }
@@ -53,6 +61,7 @@ impl TrainConfig {
             weight_decay: 1e-4,
             augment: false,
             seed: 1,
+            grad_clip: None,
         }
     }
 }
@@ -71,10 +80,14 @@ pub struct EpochStats {
 }
 
 /// History of a training run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainHistory {
     /// Per-epoch statistics, in order.
     pub epochs: Vec<EpochStats>,
+    /// Divergence rollbacks performed by the recovery supervisor, in
+    /// order (empty for a run that never tripped the sentinel).
+    #[serde(default)]
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainHistory {
@@ -92,12 +105,51 @@ impl TrainHistory {
 /// Trains `net` on `data.train` with the hook active at every tap (pass
 /// [`NoopHook`] for plain training), using SGD + cosine decay per the
 /// paper's setup.
+///
+/// Runs under the default recovery supervisor: a NaN/Inf epoch rolls
+/// back to the previous healthy state and retries with a reduced
+/// learning rate (see [`crate::recovery`]). If divergence persists
+/// through every allowed retry, the healthy partial history is returned.
+/// Use [`train_with_options`] for checkpointing, resume, or custom
+/// recovery bounds.
 pub fn train(
     net: &mut dyn Network,
     data: &SynthDataset,
     hook: &mut dyn FeatureHook,
     cfg: &TrainConfig,
 ) -> TrainHistory {
+    match train_with_options(net, data, hook, cfg, &RunOptions::default()) {
+        Ok(history) => history,
+        Err(TrainError::Diverged { history, .. }) => history,
+        // Default options never touch the filesystem, so checkpoint and
+        // resume errors cannot occur here.
+        Err(e) => unreachable!("train with default options cannot fail with {e}"),
+    }
+}
+
+/// Deterministic per-epoch augmentation seed: rebuilding the augmenter
+/// each epoch (rather than threading one stateful RNG through the run)
+/// is what makes rolled-back retries and killed-and-resumed runs replay
+/// the identical data stream.
+pub(crate) fn aug_seed(cfg: &TrainConfig, epoch: usize) -> u64 {
+    (cfg.seed ^ 0xA076_1D64_78BD_642F).wrapping_add(epoch as u64)
+}
+
+/// Supervised training loop: [`train`] plus divergence rollback,
+/// resumable checkpoints, and fault injection, controlled by `opts`.
+///
+/// On success returns the full [`TrainHistory`] (including any recovery
+/// events). Errors are typed: persistent divergence returns
+/// [`TrainError::Diverged`] carrying the healthy partial history;
+/// checkpoint I/O and resume-validation failures are reported without
+/// panicking.
+pub fn train_with_options(
+    net: &mut dyn Network,
+    data: &SynthDataset,
+    hook: &mut dyn FeatureHook,
+    cfg: &TrainConfig,
+    opts: &RunOptions,
+) -> Result<TrainHistory, TrainError> {
     let mut sgd = Sgd::new(cfg.lr_max)
         .with_momentum(cfg.momentum)
         .with_weight_decay(cfg.weight_decay);
@@ -106,13 +158,31 @@ pub fn train(
         lr_min: 0.0,
         total_epochs: cfg.epochs,
     };
-    let mut aug = cfg
-        .augment
-        .then(|| Augmentation::paper_default(data.config.image_size, cfg.seed));
+    let mut sup = recovery::Supervisor::new(opts.recovery);
     let mut history = TrainHistory::default();
-    for epoch in 0..cfg.epochs {
-        let lr = schedule.lr_at(epoch);
+    let mut epoch = 0usize;
+    if let Some(path) = &opts.resume_from {
+        let state = recovery::load_resume_state(path, cfg, net, false)?;
+        sgd.load_state(&state.sgd);
+        history = state.history;
+        epoch = state.next_epoch;
+        sup.lr_scale = state.lr_scale;
+        sup.retries_used = state.retries_used;
+    }
+    sup.snapshot(net, &sgd, None);
+    let mut ran_this_invocation = 0usize;
+    while epoch < cfg.epochs {
+        if opts
+            .stop_after_epochs
+            .is_some_and(|n| ran_this_invocation >= n)
+        {
+            break;
+        }
+        let lr = schedule.lr_at(epoch) * sup.lr_scale;
         sgd.set_lr(lr);
+        let mut aug = cfg
+            .augment
+            .then(|| Augmentation::paper_default(data.config.image_size, aug_seed(cfg, epoch)));
         let (loss, acc) = train_epoch(
             net,
             &data.train,
@@ -121,18 +191,71 @@ pub fn train(
             aug.as_mut(),
             cfg.batch_size,
             cfg.seed.wrapping_add(epoch as u64),
+            cfg.grad_clip,
         );
+        sup.maybe_inject(epoch, opts.inject_nan_at_epoch, net);
+        if let Some(kind) = sup.verdict(loss, net) {
+            if !sup.can_retry() {
+                return Err(TrainError::Diverged {
+                    epoch,
+                    kind,
+                    retries: sup.retries_used,
+                    history,
+                });
+            }
+            let (event, _) = sup.rollback(epoch, kind, net, &mut sgd);
+            history.recoveries.push(event);
+            continue; // retry the same epoch at the reduced rate
+        }
         history.epochs.push(EpochStats {
             epoch,
             train_loss: loss,
             train_acc: acc,
             lr,
         });
+        sup.snapshot(net, &sgd, None);
+        epoch += 1;
+        ran_this_invocation += 1;
+        if let Some(path) = &opts.checkpoint_to {
+            if opts.checkpoint_every > 0
+                && epoch.is_multiple_of(opts.checkpoint_every)
+                && epoch < cfg.epochs
+            {
+                let state = train_state(cfg, epoch, &sgd, &sup, &history);
+                recovery::save_run_checkpoint(net, state, path)?;
+            }
+        }
     }
-    history
+    if let Some(path) = &opts.checkpoint_to {
+        let state = train_state(cfg, epoch, &sgd, &sup, &history);
+        recovery::save_run_checkpoint(net, state, path)?;
+    }
+    Ok(history)
+}
+
+fn train_state(
+    cfg: &TrainConfig,
+    next_epoch: usize,
+    sgd: &Sgd,
+    sup: &recovery::Supervisor,
+    history: &TrainHistory,
+) -> TrainState {
+    TrainState {
+        next_epoch,
+        config: *cfg,
+        sgd: sgd.export_state(),
+        lr_scale: sup.lr_scale,
+        retries_used: sup.retries_used,
+        history: history.clone(),
+        ttd: None,
+    }
 }
 
 /// Runs one epoch; returns `(mean loss, accuracy)`.
+///
+/// An empty split runs no batches and returns `(0.0, 0.0)` rather than
+/// dividing by zero.
+#[allow(clippy::too_many_arguments)]
 pub fn train_epoch(
     net: &mut dyn Network,
     split: &Split,
@@ -141,7 +264,11 @@ pub fn train_epoch(
     mut aug: Option<&mut Augmentation>,
     batch_size: usize,
     shuffle_seed: u64,
+    grad_clip: Option<f32>,
 ) -> (f32, f32) {
+    if let Some(c) = grad_clip {
+        assert!(c.is_finite() && c > 0.0, "grad_clip must be positive");
+    }
     let mut total_loss = 0.0f64;
     let mut total_correct = 0.0f64;
     let mut total = 0usize;
@@ -154,11 +281,17 @@ pub fn train_epoch(
         let out = softmax_cross_entropy(&logits, &labels);
         net.zero_grad();
         net.backward(&out.grad);
+        if let Some(max_norm) = grad_clip {
+            clip_grad_norm(net, max_norm);
+        }
         sgd.begin_step();
         net.visit_params_mut(&mut |p| sgd.update(p));
         total_loss += out.loss as f64 * labels.len() as f64;
         total_correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
         total += labels.len();
+    }
+    if total == 0 {
+        return (0.0, 0.0);
     }
     (
         (total_loss / total as f64) as f32,
@@ -166,8 +299,33 @@ pub fn train_epoch(
     )
 }
 
+/// Scales every gradient so the global L2 norm across all parameters is
+/// at most `max_norm`. No-op when the norm is already within bounds or
+/// not finite (a non-finite norm is left for the divergence sentinel to
+/// catch rather than smuggled back into range).
+pub fn clip_grad_norm(net: &mut dyn Network, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    net.visit_params_mut(&mut |p| {
+        for &g in p.grad.data() {
+            sq += (g as f64) * (g as f64);
+        }
+    });
+    let norm = sq.sqrt() as f32;
+    if norm.is_finite() && norm > max_norm {
+        let scale = max_norm / norm;
+        net.visit_params_mut(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g *= scale;
+            }
+        });
+    }
+    norm
+}
+
 /// Evaluates accuracy on `split` with the hook active (dynamic pruning
 /// applied via mask-multiplication).
+///
+/// An empty split returns `0.0` rather than dividing by zero.
 pub fn evaluate(
     net: &mut dyn Network,
     split: &Split,
@@ -181,6 +339,9 @@ pub fn evaluate(
         correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
         total += labels.len();
     }
+    if total == 0 {
+        return 0.0;
+    }
     (correct / total as f64) as f32
 }
 
@@ -191,6 +352,8 @@ pub fn evaluate_plain(net: &mut dyn Network, split: &Split, batch_size: usize) -
 
 /// Evaluates through the masked executor, returning `(accuracy,
 /// mean MACs per image)` — the *measured* FLOPs path.
+///
+/// An empty split returns `(0.0, 0.0)` rather than dividing by zero.
 pub fn evaluate_measured(
     net: &mut dyn Network,
     split: &Split,
@@ -204,6 +367,9 @@ pub fn evaluate_measured(
         let logits = net.forward_measured(&images, hook, &mut counter);
         correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
         total += labels.len();
+    }
+    if total == 0 {
+        return (0.0, 0.0);
     }
     (
         (correct / total as f64) as f32,
@@ -237,6 +403,67 @@ mod tests {
         );
         let acc = evaluate_plain(&mut net, &data.test, 16);
         assert!(acc > 0.34, "test accuracy {acc} should beat chance (1/3)");
+    }
+
+    #[test]
+    fn empty_split_returns_zeros_not_nan() {
+        use antidote_tensor::Tensor;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        // A zero-sample split: tensors cannot have a zero dimension, so
+        // emptiness is represented by an empty label vector (the sample
+        // count `Split::len` is defined by).
+        let empty = Split {
+            images: Tensor::zeros([1, 3, 8, 8]),
+            labels: vec![],
+        };
+        let mut sgd = Sgd::new(0.05);
+        let (loss, acc) = train_epoch(&mut net, &empty, &mut NoopHook, &mut sgd, None, 4, 0, None);
+        assert_eq!((loss, acc), (0.0, 0.0), "must not be NaN");
+        assert_eq!(evaluate_plain(&mut net, &empty, 4), 0.0);
+        let (acc, macs) = evaluate_measured(&mut net, &empty, &mut NoopHook, 4);
+        assert_eq!((acc, macs), (0.0, 0.0));
+    }
+
+    fn global_grad_norm(net: &mut dyn Network) -> f32 {
+        let mut sq = 0.0f64;
+        net.visit_params_mut(&mut |p| {
+            for &g in p.grad.data() {
+                sq += (g as f64) * (g as f64);
+            }
+        });
+        sq.sqrt() as f32
+    }
+
+    #[test]
+    fn grad_clip_bounds_global_norm() {
+        use antidote_tensor::Tensor;
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        // Plant large gradients so the global norm clearly exceeds 1.
+        net.visit_params_mut(&mut |p| p.grad = Tensor::full(p.value.dims().to_vec(), 2.0));
+        let first = |net: &mut Vgg| {
+            let mut v = None;
+            net.visit_params_mut(&mut |p| {
+                if v.is_none() {
+                    v = Some(p.grad.data()[0]);
+                }
+            });
+            v.unwrap()
+        };
+        let before_first = first(&mut net);
+        let before = global_grad_norm(&mut net);
+        assert!(before > 1.0);
+        let reported = clip_grad_norm(&mut net, 1.0);
+        assert!((reported - before).abs() / before < 1e-5);
+        assert!((global_grad_norm(&mut net) - 1.0).abs() < 1e-4);
+        // Direction preserved: components scaled, not truncated.
+        let after_first = first(&mut net);
+        assert!(after_first > 0.0 && after_first < before_first);
+        // A norm already in bounds is untouched.
+        let kept = first(&mut net);
+        clip_grad_norm(&mut net, 10.0);
+        assert_eq!(first(&mut net), kept);
     }
 
     #[test]

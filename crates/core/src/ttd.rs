@@ -9,11 +9,13 @@
 //! current ratio (Sec. IV-B).
 
 use crate::pruner::{DynamicPruner, PruneSchedule};
-use crate::trainer::{train_epoch, EpochStats, TrainConfig, TrainHistory};
+use crate::recovery::{self, RunOptions, TrainError, TrainState, TtdState};
+use crate::trainer::{aug_seed, train_epoch, EpochStats, TrainConfig, TrainHistory};
 use antidote_data::{Augmentation, SynthDataset};
 use antidote_models::Network;
 use antidote_nn::optim::{CosineAnnealing, LrSchedule, Sgd};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// The dropout-ratio ascent policy of Sec. IV-B.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +38,92 @@ impl Default for RatioAscent {
             step: 0.05,
             epochs_per_step: 1,
         }
+    }
+}
+
+/// Why a [`RatioAscent`] policy is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AscentError {
+    /// `warmup` or `step` is NaN or infinite.
+    NonFinite {
+        /// Which field is non-finite.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `warmup` is outside `[0, 1]`.
+    WarmupOutOfRange {
+        /// The offending warmup ratio.
+        warmup: f64,
+    },
+    /// `warmup` exceeds the largest target ratio, so the ascent could
+    /// never terminate at the target.
+    WarmupAboveTarget {
+        /// The offending warmup ratio.
+        warmup: f64,
+        /// The largest ratio in the target schedule.
+        max_target: f64,
+    },
+    /// `step` is outside `(0, 1]` — a non-positive step can never reach
+    /// the target.
+    StepOutOfRange {
+        /// The offending step.
+        step: f64,
+    },
+}
+
+impl fmt::Display for AscentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AscentError::NonFinite { field, value } => {
+                write!(f, "ascent {field} is not finite ({value})")
+            }
+            AscentError::WarmupOutOfRange { warmup } => {
+                write!(f, "ascent warmup {warmup} outside [0, 1]")
+            }
+            AscentError::WarmupAboveTarget { warmup, max_target } => write!(
+                f,
+                "ascent warmup {warmup} exceeds the largest target ratio {max_target}"
+            ),
+            AscentError::StepOutOfRange { step } => {
+                write!(f, "ascent step {step} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AscentError {}
+
+impl RatioAscent {
+    /// Checks the policy against the largest ratio of the target
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`AscentError`] when `warmup`/`step` is NaN or infinite, `warmup`
+    /// is outside `[0, 1]` or above `max_target`, or `step` is outside
+    /// `(0, 1]`.
+    pub fn validate(&self, max_target: f64) -> Result<(), AscentError> {
+        for (field, value) in [("warmup", self.warmup), ("step", self.step)] {
+            if !value.is_finite() {
+                return Err(AscentError::NonFinite { field, value });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.warmup) {
+            return Err(AscentError::WarmupOutOfRange {
+                warmup: self.warmup,
+            });
+        }
+        if self.warmup > max_target {
+            return Err(AscentError::WarmupAboveTarget {
+                warmup: self.warmup,
+                max_target,
+            });
+        }
+        if self.step <= 0.0 || self.step > 1.0 {
+            return Err(AscentError::StepOutOfRange { step: self.step });
+        }
+        Ok(())
     }
 }
 
@@ -108,13 +196,66 @@ pub struct TtdOutcome {
 /// Runs TTD training: standard SGD + cosine decay, with the targeted
 /// dropout hook active at every tap and its ratios ascending toward the
 /// target schedule.
+///
+/// Runs under the default recovery supervisor (see [`crate::recovery`]):
+/// a NaN/Inf epoch rolls back, reduces the learning rate and retreats
+/// the ascent ceiling one step before retrying.
+///
+/// # Panics
+///
+/// Panics if the ascent policy is invalid or divergence persists through
+/// every allowed retry; use [`train_ttd_with_options`] to handle those
+/// as typed errors (and for checkpointing/resume).
 pub fn train_ttd(net: &mut dyn Network, data: &SynthDataset, cfg: &TtdConfig) -> TtdOutcome {
-    let max_target = cfg
-        .target
+    match train_ttd_with_options(net, data, cfg, &RunOptions::default()) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("TTD training failed: {e}"),
+    }
+}
+
+/// Largest ratio anywhere in the target schedule.
+fn max_target_ratio(target: &PruneSchedule) -> f64 {
+    target
         .channel_prune()
         .iter()
-        .chain(cfg.target.spatial_prune())
-        .fold(0.0f64, |a, &b| a.max(b));
+        .chain(target.spatial_prune())
+        .fold(0.0f64, |a, &b| a.max(b))
+}
+
+/// The "loss is not regressing" convergence proxy for ratio ascent:
+/// compares the last epoch's loss against the one before it (vacuously
+/// true with fewer than two epochs). Derived purely from the history so
+/// a resumed run makes the identical ascent decisions.
+fn ascent_loss_ok(history: &TrainHistory) -> bool {
+    let n = history.epochs.len();
+    if n < 2 {
+        return true;
+    }
+    history.epochs[n - 1].train_loss <= history.epochs[n - 2].train_loss * 1.10
+}
+
+/// Supervised TTD loop: [`train_ttd`] plus divergence rollback,
+/// resumable checkpoints and fault injection, controlled by `opts`.
+///
+/// On divergence the rollback additionally *retreats* the ascent ceiling
+/// one step (never below warm-up) and restarts the dwell counter, so the
+/// run re-approaches the target ratio from a gentler setting.
+///
+/// # Errors
+///
+/// [`TrainError::InvalidAscent`] for a bad ascent policy,
+/// [`TrainError::Diverged`] when retries are exhausted, and typed
+/// checkpoint/resume errors when `opts` uses the filesystem.
+pub fn train_ttd_with_options(
+    net: &mut dyn Network,
+    data: &SynthDataset,
+    cfg: &TtdConfig,
+    opts: &RunOptions,
+) -> Result<TtdOutcome, TrainError> {
+    let max_target = max_target_ratio(&cfg.target);
+    if let Some(ascent) = &cfg.ascent {
+        ascent.validate(max_target).map_err(TrainError::InvalidAscent)?;
+    }
     let mut sgd = Sgd::new(cfg.train.lr_max)
         .with_momentum(cfg.train.momentum)
         .with_weight_decay(cfg.train.weight_decay);
@@ -123,30 +264,51 @@ pub fn train_ttd(net: &mut dyn Network, data: &SynthDataset, cfg: &TtdConfig) ->
         lr_min: 0.0,
         total_epochs: cfg.train.epochs,
     };
-    let mut aug = cfg
-        .train
-        .augment
-        .then(|| Augmentation::paper_default(data.config.image_size, cfg.train.seed));
     let mut pruner = DynamicPruner::new(match &cfg.ascent {
         Some(a) => cfg.target.capped(a.warmup),
         None => cfg.target.clone(),
     });
+    let mut sup = recovery::Supervisor::new(opts.recovery);
     let mut history = TrainHistory::default();
-    let mut ratio_trace = Vec::new();
+    let mut ratio_trace: Vec<(usize, f64)> = Vec::new();
     let mut cap = cfg.ascent.map_or(max_target, |a| a.warmup);
     let mut epochs_at_cap = 0usize;
-    let mut prev_loss = f32::INFINITY;
-
-    for epoch in 0..cfg.train.epochs {
+    let mut epoch = 0usize;
+    if let Some(path) = &opts.resume_from {
+        let state = recovery::load_resume_state(path, &cfg.train, net, true)?;
+        let ttd_state = state.ttd.expect("validated by load_resume_state");
+        sgd.load_state(&state.sgd);
+        history = state.history;
+        epoch = state.next_epoch;
+        sup.lr_scale = state.lr_scale;
+        sup.retries_used = state.retries_used;
+        cap = ttd_state.cap;
+        epochs_at_cap = ttd_state.epochs_at_cap;
+        ratio_trace = ttd_state.ratio_trace;
+    }
+    sup.snapshot(
+        net,
+        &sgd,
+        Some(&TtdState {
+            cap,
+            epochs_at_cap,
+            ratio_trace: ratio_trace.clone(),
+        }),
+    );
+    let mut ran_this_invocation = 0usize;
+    while epoch < cfg.train.epochs {
+        if opts
+            .stop_after_epochs
+            .is_some_and(|n| ran_this_invocation >= n)
+        {
+            break;
+        }
         if let Some(ascent) = &cfg.ascent {
             // Ascend once we've dwelt long enough at this ceiling and the
             // loss is not regressing (the convergence proxy).
             if cap < max_target
                 && epochs_at_cap >= ascent.epochs_per_step
-                && history
-                    .epochs
-                    .last()
-                    .map_or(true, |e| e.train_loss <= prev_loss * 1.10)
+                && ascent_loss_ok(&history)
             {
                 cap = (cap + ascent.step).min(max_target);
                 epochs_at_cap = 0;
@@ -154,8 +316,12 @@ pub fn train_ttd(net: &mut dyn Network, data: &SynthDataset, cfg: &TtdConfig) ->
             pruner.set_schedule(cfg.target.capped(cap));
         }
         ratio_trace.push((epoch, cap));
-        prev_loss = history.final_train_loss();
-        sgd.set_lr(schedule.lr_at(epoch));
+        let lr = schedule.lr_at(epoch) * sup.lr_scale;
+        sgd.set_lr(lr);
+        let mut aug = cfg
+            .train
+            .augment
+            .then(|| Augmentation::paper_default(data.config.image_size, aug_seed(&cfg.train, epoch)));
         let (loss, acc) = train_epoch(
             net,
             &data.train,
@@ -164,22 +330,98 @@ pub fn train_ttd(net: &mut dyn Network, data: &SynthDataset, cfg: &TtdConfig) ->
             aug.as_mut(),
             cfg.train.batch_size,
             cfg.train.seed.wrapping_add(epoch as u64),
+            cfg.train.grad_clip,
         );
+        sup.maybe_inject(epoch, opts.inject_nan_at_epoch, net);
+        if let Some(kind) = sup.verdict(loss, net) {
+            if !sup.can_retry() {
+                return Err(TrainError::Diverged {
+                    epoch,
+                    kind,
+                    retries: sup.retries_used,
+                    history,
+                });
+            }
+            let (event, snap_ttd) = sup.rollback(epoch, kind, net, &mut sgd);
+            history.recoveries.push(event);
+            let snap = snap_ttd.expect("TTD supervisor snapshots carry ascent state");
+            // Restore the ascent state from the healthy snapshot, then
+            // retreat the ceiling one step (held at warm-up) and restart
+            // the dwell so the run re-approaches the target gently.
+            cap = snap.cap;
+            ratio_trace = snap.ratio_trace;
+            epochs_at_cap = 0;
+            if let Some(ascent) = &cfg.ascent {
+                cap = (cap - ascent.step).max(ascent.warmup);
+                pruner.set_schedule(cfg.target.capped(cap));
+            }
+            continue; // retry the same epoch
+        }
         history.epochs.push(EpochStats {
             epoch,
             train_loss: loss,
             train_acc: acc,
-            lr: schedule.lr_at(epoch),
+            lr,
         });
         epochs_at_cap += 1;
+        sup.snapshot(
+            net,
+            &sgd,
+            Some(&TtdState {
+                cap,
+                epochs_at_cap,
+                ratio_trace: ratio_trace.clone(),
+            }),
+        );
+        epoch += 1;
+        ran_this_invocation += 1;
+        if let Some(path) = &opts.checkpoint_to {
+            if opts.checkpoint_every > 0
+                && epoch.is_multiple_of(opts.checkpoint_every)
+                && epoch < cfg.train.epochs
+            {
+                let state = ttd_train_state(cfg, epoch, &sgd, &sup, &history, cap, epochs_at_cap, &ratio_trace);
+                recovery::save_run_checkpoint(net, state, path)?;
+            }
+        }
+    }
+    if let Some(path) = &opts.checkpoint_to {
+        let state = ttd_train_state(cfg, epoch, &sgd, &sup, &history, cap, epochs_at_cap, &ratio_trace);
+        recovery::save_run_checkpoint(net, state, path)?;
     }
     // Leave the pruner at the exact target for test-time pruning.
     pruner.set_schedule(cfg.target.clone());
     pruner.reset_stats();
-    TtdOutcome {
+    Ok(TtdOutcome {
         history,
         ratio_trace,
         pruner,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ttd_train_state(
+    cfg: &TtdConfig,
+    next_epoch: usize,
+    sgd: &Sgd,
+    sup: &recovery::Supervisor,
+    history: &TrainHistory,
+    cap: f64,
+    epochs_at_cap: usize,
+    ratio_trace: &[(usize, f64)],
+) -> TrainState {
+    TrainState {
+        next_epoch,
+        config: cfg.train,
+        sgd: sgd.export_state(),
+        lr_scale: sup.lr_scale,
+        retries_used: sup.retries_used,
+        history: history.clone(),
+        ttd: Some(TtdState {
+            cap,
+            epochs_at_cap,
+            ratio_trace: ratio_trace.to_vec(),
+        }),
     }
 }
 
@@ -212,6 +454,30 @@ mod tests {
         assert!((outcome.ratio_trace.last().unwrap().1 - 0.5).abs() < 1e-9);
         // Final pruner carries the exact target.
         assert_eq!(outcome.pruner.schedule().channel_prune(), &[0.2, 0.5]);
+    }
+
+    #[test]
+    fn invalid_ascent_is_a_typed_error_not_a_panic() {
+        let data = SynthConfig::tiny(2, 8).with_samples(8, 4).generate();
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut net = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2));
+        // Warm-up ceiling above the largest target ratio: the ascent
+        // could never terminate at the target.
+        let mut cfg = TtdConfig::new(PruneSchedule::new(vec![0.2], vec![]), 3);
+        cfg.ascent = Some(RatioAscent {
+            warmup: 0.9,
+            ..RatioAscent::default()
+        });
+        match train_ttd_with_options(&mut net, &data, &cfg, &crate::RunOptions::default()) {
+            Err(crate::TrainError::InvalidAscent(AscentError::WarmupAboveTarget {
+                warmup,
+                max_target,
+            })) => {
+                assert_eq!(warmup, 0.9);
+                assert_eq!(max_target, 0.2);
+            }
+            other => panic!("expected InvalidAscent, got {:?}", other.map(|o| o.history)),
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Property tests for construction-time validation: `PruneSchedule`
+//! ratio vectors and `RatioAscent` policies must reject NaN, infinities
+//! and out-of-range values with the right typed error, and accept every
+//! well-formed input.
+
+use antidote_core::ttd::{AscentError, RatioAscent};
+use antidote_core::PruneSchedule;
+use proptest::prelude::*;
+
+/// Map a selector to an invalid prune ratio.
+fn bad_ratio(selector: usize, magnitude: f64) -> f64 {
+    match selector % 4 {
+        0 => -magnitude,          // negative
+        1 => 1.0 + magnitude,     // above one
+        2 => f64::NAN,
+        _ => f64::INFINITY,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn well_formed_schedules_are_accepted(
+        channel in proptest::collection::vec(0.0f64..=1.0, 0..6),
+        spatial in proptest::collection::vec(0.0f64..=1.0, 0..6),
+    ) {
+        let schedule = PruneSchedule::try_new(channel.clone(), spatial.clone());
+        prop_assert!(schedule.is_ok());
+        let schedule = schedule.unwrap();
+        prop_assert_eq!(schedule.channel_prune(), &channel[..]);
+        prop_assert_eq!(schedule.spatial_prune(), &spatial[..]);
+    }
+
+    #[test]
+    fn corrupt_channel_ratio_is_rejected_at_its_block(
+        channel in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        idx in 0usize..6,
+        selector in 0usize..4,
+        magnitude in 0.01f64..10.0,
+    ) {
+        let mut channel = channel;
+        let idx = idx % channel.len();
+        let bad = bad_ratio(selector, magnitude);
+        channel[idx] = bad;
+        let err = PruneSchedule::try_new(channel, vec![0.5]).unwrap_err();
+        prop_assert_eq!(err.axis, "channel");
+        prop_assert_eq!(err.block, idx);
+        prop_assert!(err.value.is_nan() == bad.is_nan());
+        if !bad.is_nan() {
+            prop_assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
+    fn corrupt_spatial_ratio_is_rejected_at_its_block(
+        spatial in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        idx in 0usize..6,
+        selector in 0usize..4,
+        magnitude in 0.01f64..10.0,
+    ) {
+        let mut spatial = spatial;
+        let idx = idx % spatial.len();
+        spatial[idx] = bad_ratio(selector, magnitude);
+        let err = PruneSchedule::try_new(vec![0.25, 0.5], spatial).unwrap_err();
+        prop_assert_eq!(err.axis, "spatial");
+        prop_assert_eq!(err.block, idx);
+    }
+
+    #[test]
+    fn well_formed_ascents_are_accepted(
+        max_target in 0.0f64..=1.0,
+        warmup_frac in 0.0f64..=1.0,
+        step in 0.001f64..=1.0,
+        epochs_per_step in 1usize..10,
+    ) {
+        let ascent = RatioAscent {
+            warmup: max_target * warmup_frac,
+            step,
+            epochs_per_step,
+        };
+        prop_assert!(ascent.validate(max_target).is_ok());
+    }
+
+    #[test]
+    fn warmup_above_target_is_rejected(
+        max_target in 0.0f64..0.9,
+        excess in 0.001f64..0.1,
+    ) {
+        let ascent = RatioAscent { warmup: max_target + excess, ..RatioAscent::default() };
+        prop_assert!(matches!(
+            ascent.validate(max_target),
+            Err(AscentError::WarmupAboveTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_ascent_fields_are_rejected(
+        selector in 0usize..3,
+        field in 0usize..2,
+    ) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][selector];
+        let mut ascent = RatioAscent::default();
+        if field == 0 {
+            ascent.step = bad;
+        } else {
+            ascent.warmup = bad;
+        }
+        prop_assert!(matches!(
+            ascent.validate(1.0),
+            Err(AscentError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_steps_are_rejected(step in -1.0f64..=0.0) {
+        let ascent = RatioAscent { step, ..RatioAscent::default() };
+        prop_assert!(matches!(
+            ascent.validate(1.0),
+            Err(AscentError::StepOutOfRange { .. })
+        ));
+        let too_big = RatioAscent { step: 1.0 + (-step) + 0.001, ..RatioAscent::default() };
+        prop_assert!(matches!(
+            too_big.validate(1.0),
+            Err(AscentError::StepOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_warmup_is_rejected(warmup in -10.0f64..-0.001) {
+        let ascent = RatioAscent { warmup, ..RatioAscent::default() };
+        prop_assert!(matches!(
+            ascent.validate(1.0),
+            Err(AscentError::WarmupOutOfRange { .. })
+        ));
+    }
+}

@@ -57,7 +57,7 @@ impl Vgg {
     /// Panics if the input size is not divisible by `2^blocks`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, config: VggConfig) -> Self {
         assert!(
-            config.input_size % (1 << config.blocks.len()) == 0,
+            config.input_size.is_multiple_of(1 << config.blocks.len()),
             "input size {} not divisible by 2^{} for pooling",
             config.input_size,
             config.blocks.len()
@@ -368,7 +368,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny() -> Vgg {
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = SmallRng::seed_from_u64(1);
         Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3))
     }
 

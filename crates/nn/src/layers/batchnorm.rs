@@ -119,22 +119,21 @@ impl Layer for BatchNorm2d {
         let (mean, var): (Vec<f32>, Vec<f32>) = if mode.is_train() {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
-            for ci in 0..c {
+            for (ci, m) in mean.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for ni in 0..n {
                     let s = (ni * c + ci) * plane;
                     acc += src[s..s + plane].iter().sum::<f32>();
                 }
-                mean[ci] = acc / count;
+                *m = acc / count;
             }
-            for ci in 0..c {
-                let m = mean[ci];
+            for (ci, (&m, v)) in mean.iter().zip(var.iter_mut()).enumerate() {
                 let mut acc = 0.0;
                 for ni in 0..n {
                     let s = (ni * c + ci) * plane;
                     acc += src[s..s + plane].iter().map(|&x| (x - m) * (x - m)).sum::<f32>();
                 }
-                var[ci] = acc / count;
+                *v = acc / count;
             }
             // Update running stats.
             for ci in 0..c {

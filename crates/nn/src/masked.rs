@@ -32,12 +32,12 @@ impl FeatureMask {
 
     /// `true` if the mask keeps channel `c`.
     pub fn keeps_channel(&self, c: usize) -> bool {
-        self.channel.as_ref().map_or(true, |m| m[c])
+        self.channel.as_ref().is_none_or(|m| m[c])
     }
 
     /// `true` if the mask keeps the spatial column at flat position `p`.
     pub fn keeps_position(&self, p: usize) -> bool {
-        self.spatial.as_ref().map_or(true, |m| m[p])
+        self.spatial.as_ref().is_none_or(|m| m[p])
     }
 
     /// Fraction of channels kept (1.0 when unmasked).
@@ -167,8 +167,7 @@ pub fn masked_conv2d(
     let wdata = weight.data();
     let mut macs = 0u64;
 
-    for ni in 0..n {
-        let mask = &masks[ni];
+    for (ni, mask) in masks.iter().enumerate() {
         let kept_channels: Vec<usize> = (0..cin).filter(|&c| mask.keeps_channel(c)).collect();
         let img = &input.data()[ni * cin * plane_in..(ni + 1) * cin * plane_in];
         let out_item =

@@ -6,6 +6,7 @@
 
 use crate::Parameter;
 use antidote_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 /// Stochastic gradient descent with momentum and weight decay.
 ///
@@ -106,6 +107,48 @@ impl Sgd {
             vd[i] = mu * vd[i] + g;
             pd[i] -= lr * vd[i];
         }
+    }
+}
+
+/// Serializable snapshot of an [`Sgd`] optimizer's full state, including
+/// the per-parameter momentum buffers. Capturing and re-loading this
+/// around a checkpoint lets a resumed run continue with the exact
+/// velocity the interrupted run had, instead of restarting momentum from
+/// zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgdState {
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Weight-decay coefficient.
+    pub weight_decay: f32,
+    /// Velocity buffers in parameter visit order (empty if the optimizer
+    /// has not stepped yet).
+    pub velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Captures the optimizer's full state (hyper-parameters plus
+    /// momentum buffers).
+    pub fn export_state(&self) -> SgdState {
+        SgdState {
+            lr: self.lr,
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            velocities: self.velocities.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Sgd::export_state`]. The velocity
+    /// buffers are matched positionally on the next [`Sgd::update`]
+    /// traversal, which asserts shape agreement per slot.
+    pub fn load_state(&mut self, state: &SgdState) {
+        self.lr = state.lr;
+        self.momentum = state.momentum;
+        self.weight_decay = state.weight_decay;
+        self.velocities = state.velocities.clone();
+        self.cursor = 0;
     }
 }
 
@@ -240,6 +283,37 @@ mod tests {
         assert!((s.lr_at(0) - 1.0).abs() < 1e-7);
         assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(25) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_momentum() {
+        // Two optimizers: one runs 10 steps straight; the other runs 5,
+        // is rebuilt from exported state, then runs 5 more. Identical
+        // trajectories prove the momentum buffers survive the round trip.
+        let grad_at = |step: usize| ((step as f32 * 0.7).sin() + 1.5) * 0.2;
+        let run = |p: &mut Parameter, sgd: &mut Sgd, steps: std::ops::Range<usize>| {
+            for s in steps {
+                p.zero_grad();
+                p.grad = Tensor::full([2], grad_at(s));
+                sgd.begin_step();
+                sgd.update(p);
+            }
+        };
+        let mut p_straight = Parameter::new(Tensor::full([2], 1.0));
+        let mut sgd_straight = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-3);
+        run(&mut p_straight, &mut sgd_straight, 0..10);
+
+        let mut p_resumed = Parameter::new(Tensor::full([2], 1.0));
+        let mut sgd_a = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(1e-3);
+        run(&mut p_resumed, &mut sgd_a, 0..5);
+        let state = sgd_a.export_state();
+        drop(sgd_a);
+        let mut sgd_b = Sgd::new(0.05);
+        sgd_b.load_state(&state);
+        run(&mut p_resumed, &mut sgd_b, 5..10);
+
+        assert_eq!(p_straight.value.data(), p_resumed.value.data());
+        assert_eq!(sgd_straight.export_state(), sgd_b.export_state());
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Shape {
     ///
     /// Returns [`TensorError::EmptyDimension`] if any dimension is zero.
     pub fn try_new(dims: Vec<usize>) -> Result<Self, TensorError> {
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(TensorError::EmptyDimension);
         }
         Ok(Self { dims })

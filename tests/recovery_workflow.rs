@@ -1,0 +1,302 @@
+//! Fault-tolerance workflow: divergence rollback, kill-and-resume
+//! equivalence (plain and TTD), typed resume errors, and harness
+//! isolation of a failing workload.
+
+use antidote_bench::{run_table1_workload, ReproWorkload, Scale, WorkloadError, WorkloadRunOptions};
+use antidote_repro::core::recovery::params_finite;
+use antidote_repro::core::settings::{proposed_settings, Workload};
+use antidote_repro::core::trainer::TrainConfig;
+use antidote_repro::core::{
+    train_ttd_with_options, train_with_options, PruneSchedule, RecoverySettings, RunOptions,
+    TrainError, TtdConfig,
+};
+use antidote_repro::data::{SynthConfig, SynthDataset};
+use antidote_repro::models::{NoopHook, Vgg, VggConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tiny_data() -> SynthDataset {
+    SynthConfig::tiny(2, 8).with_samples(16, 8).generate()
+}
+
+fn tiny_net(seed: u64) -> Vgg {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 2))
+}
+
+fn tiny_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 8,
+        ..TrainConfig::fast_test()
+    }
+}
+
+fn temp_ckpt(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "antidote_recovery_{name}_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// NaN injected at epoch k trips the sentinel: the run rolls back, backs
+/// the learning rate off, and still completes with finite results.
+#[test]
+fn injected_nan_rolls_back_and_completes_finite() {
+    let data = tiny_data();
+    let cfg = tiny_cfg(4);
+
+    let mut clean_net = tiny_net(0xFA);
+    let clean = train_with_options(
+        &mut clean_net,
+        &data,
+        &mut NoopHook,
+        &cfg,
+        &RunOptions::default(),
+    )
+    .expect("clean run succeeds");
+
+    let mut net = tiny_net(0xFA);
+    let opts = RunOptions {
+        inject_nan_at_epoch: Some(1),
+        ..RunOptions::default()
+    };
+    let history = train_with_options(&mut net, &data, &mut NoopHook, &cfg, &opts)
+        .expect("run recovers from the injected fault");
+
+    assert_eq!(history.recoveries.len(), 1, "exactly one rollback");
+    let event = history.recoveries[0];
+    assert_eq!(event.epoch, 1);
+    assert_eq!(event.attempt, 1);
+    assert!((event.lr_scale - 0.5).abs() < 1e-6, "default backoff halves the LR");
+
+    assert_eq!(history.epochs.len(), cfg.epochs, "full run completes");
+    assert!(
+        history
+            .epochs
+            .iter()
+            .all(|e| e.train_loss.is_finite() && e.train_acc.is_finite()),
+        "no non-finite epoch stats survive recovery"
+    );
+    assert!(params_finite(&mut net), "final parameters are finite");
+
+    // Epoch 0 was healthy and identical; the retried epoch ran at the
+    // backed-off learning rate.
+    assert_eq!(history.epochs[0], clean.epochs[0]);
+    assert!(
+        (history.epochs[1].lr - clean.epochs[1].lr * 0.5).abs() < 1e-7,
+        "retried epoch uses the scaled LR: {} vs clean {}",
+        history.epochs[1].lr,
+        clean.epochs[1].lr
+    );
+}
+
+/// With a zero retry budget the same fault is a typed `Diverged` error
+/// carrying the healthy prefix of the history — never a panic.
+#[test]
+fn exhausted_retry_budget_is_a_typed_error() {
+    let data = tiny_data();
+    let cfg = tiny_cfg(3);
+    let mut net = tiny_net(0xFB);
+    let opts = RunOptions {
+        recovery: RecoverySettings {
+            max_retries: 0,
+            ..RecoverySettings::default()
+        },
+        inject_nan_at_epoch: Some(1),
+        ..RunOptions::default()
+    };
+    match train_with_options(&mut net, &data, &mut NoopHook, &cfg, &opts) {
+        Err(TrainError::Diverged {
+            epoch,
+            retries,
+            history,
+            ..
+        }) => {
+            assert_eq!(epoch, 1);
+            assert_eq!(retries, 0);
+            assert_eq!(history.epochs.len(), 1, "healthy prefix is preserved");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+/// A run killed mid-way and resumed from its checkpoint reproduces the
+/// uninterrupted run's epoch history exactly.
+#[test]
+fn killed_plain_run_resumes_to_identical_history() {
+    let data = tiny_data();
+    let cfg = tiny_cfg(4);
+    let path = temp_ckpt("plain_resume");
+
+    let mut uninterrupted_net = tiny_net(0xC0);
+    let uninterrupted = train_with_options(
+        &mut uninterrupted_net,
+        &data,
+        &mut NoopHook,
+        &cfg,
+        &RunOptions::default(),
+    )
+    .expect("uninterrupted run succeeds");
+
+    // First invocation: "killed" after 2 epochs, checkpointing as it goes.
+    let mut net = tiny_net(0xC0);
+    let first_leg = RunOptions {
+        checkpoint_to: Some(path.clone()),
+        checkpoint_every: 1,
+        stop_after_epochs: Some(2),
+        ..RunOptions::default()
+    };
+    let partial = train_with_options(&mut net, &data, &mut NoopHook, &cfg, &first_leg)
+        .expect("first leg succeeds");
+    assert_eq!(partial.epochs.len(), 2);
+
+    // Second invocation: a *differently initialized* network proves the
+    // weights come from the checkpoint, not the in-memory state.
+    let mut resumed_net = tiny_net(0xDEAD);
+    let resumed = train_with_options(
+        &mut resumed_net,
+        &data,
+        &mut NoopHook,
+        &cfg,
+        &RunOptions::resuming(&path),
+    )
+    .expect("resumed run succeeds");
+
+    assert_eq!(
+        resumed.epochs, uninterrupted.epochs,
+        "resumed history must match the uninterrupted run epoch-for-epoch"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+/// The same kill-and-resume equivalence holds for TTD, including the
+/// ratio-ascent ceiling trace (the ceiling resumes mid-ascent).
+#[test]
+fn killed_ttd_run_resumes_to_identical_history_and_trace() {
+    let data = tiny_data();
+    let schedule = PruneSchedule::new(vec![0.25, 0.5], vec![]);
+    let mut cfg = TtdConfig::new(schedule, 6);
+    cfg.train = tiny_cfg(6);
+    let path = temp_ckpt("ttd_resume");
+
+    let mut uninterrupted_net = tiny_net(0xC1);
+    let uninterrupted =
+        train_ttd_with_options(&mut uninterrupted_net, &data, &cfg, &RunOptions::default())
+            .expect("uninterrupted TTD run succeeds");
+
+    let mut net = tiny_net(0xC1);
+    let first_leg = RunOptions {
+        checkpoint_to: Some(path.clone()),
+        checkpoint_every: 1,
+        stop_after_epochs: Some(3),
+        ..RunOptions::default()
+    };
+    let partial = train_ttd_with_options(&mut net, &data, &cfg, &first_leg)
+        .expect("first TTD leg succeeds");
+    assert_eq!(partial.history.epochs.len(), 3);
+
+    let mut resumed_net = tiny_net(0xBEEF);
+    let resumed =
+        train_ttd_with_options(&mut resumed_net, &data, &cfg, &RunOptions::resuming(&path))
+            .expect("resumed TTD run succeeds");
+
+    assert_eq!(
+        resumed.history.epochs, uninterrupted.history.epochs,
+        "resumed TTD history must match the uninterrupted run"
+    );
+    assert_eq!(
+        resumed.ratio_trace, uninterrupted.ratio_trace,
+        "ratio-ascent ceiling trace must continue mid-ascent, not restart"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+/// Resuming against the wrong run flavor or configuration is a typed
+/// error, and a missing checkpoint file is a checkpoint error.
+#[test]
+fn resume_mismatches_are_typed_errors() {
+    let data = tiny_data();
+    let cfg = tiny_cfg(3);
+    let path = temp_ckpt("mismatch");
+
+    let mut net = tiny_net(0xC2);
+    let write = RunOptions {
+        checkpoint_to: Some(path.clone()),
+        stop_after_epochs: Some(1),
+        ..RunOptions::default()
+    };
+    train_with_options(&mut net, &data, &mut NoopHook, &cfg, &write).expect("first leg succeeds");
+
+    // A plain-training checkpoint cannot resume a TTD run.
+    let mut ttd_cfg = TtdConfig::new(PruneSchedule::new(vec![0.25, 0.5], vec![]), 3);
+    ttd_cfg.train = cfg.clone();
+    let mut ttd_net = tiny_net(0xC2);
+    match train_ttd_with_options(&mut ttd_net, &data, &ttd_cfg, &RunOptions::resuming(&path)) {
+        Err(TrainError::ResumeMismatch(msg)) => {
+            assert!(!msg.is_empty());
+        }
+        other => panic!("expected ResumeMismatch, got {:?}", other.map(|o| o.history)),
+    }
+
+    // A different training configuration is rejected.
+    let mut other_cfg = cfg.clone();
+    other_cfg.lr_max *= 2.0;
+    let mut net2 = tiny_net(0xC2);
+    match train_with_options(
+        &mut net2,
+        &data,
+        &mut NoopHook,
+        &other_cfg,
+        &RunOptions::resuming(&path),
+    ) {
+        Err(TrainError::ResumeMismatch(_)) => {}
+        other => panic!("expected ResumeMismatch, got {other:?}"),
+    }
+
+    // A missing checkpoint file is a typed checkpoint error.
+    let missing = temp_ckpt("never_written");
+    let mut net3 = tiny_net(0xC2);
+    match train_with_options(
+        &mut net3,
+        &data,
+        &mut NoopHook,
+        &cfg,
+        &RunOptions::resuming(&missing),
+    ) {
+        Err(TrainError::Checkpoint(_)) => {}
+        other => panic!("expected Checkpoint error, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// The Table I harness surfaces an unrecoverable workload as a typed
+/// error (which the `table1` binary turns into a failure row) instead of
+/// aborting the whole sweep.
+#[test]
+fn table1_harness_isolates_a_failing_workload() {
+    let workload = Workload::Vgg16Cifar10;
+    let rw = ReproWorkload::for_workload(workload, Scale::Quick);
+    let settings: Vec<_> = proposed_settings()
+        .into_iter()
+        .filter(|s| s.workload == workload)
+        .collect();
+    let opts = WorkloadRunOptions {
+        recovery: RecoverySettings {
+            max_retries: 0,
+            ..RecoverySettings::default()
+        },
+        inject_fault_epoch: Some(0),
+        ..WorkloadRunOptions::default()
+    };
+    match run_table1_workload(&rw, &settings, 0xAB1E, &opts) {
+        Err(err @ WorkloadError::Baseline(TrainError::Diverged { .. })) => {
+            assert_eq!(err.stage(), "baseline-train");
+        }
+        Err(other) => panic!("expected a baseline divergence, got {other}"),
+        Ok(_) => panic!("injected fault with zero retries must fail the workload"),
+    }
+}

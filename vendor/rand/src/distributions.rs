@@ -1,0 +1,158 @@
+//! Distributions: the `Distribution` trait, `Standard`, and uniform
+//! range sampling.
+
+use crate::Rng;
+
+/// Types that can generate values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a primitive type: uniform over all
+/// values for integers, uniform on `[0, 1)` for floats, fair coin for
+/// `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 random mantissa bits -> uniform multiples of 2^-24 in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform multiples of 2^-53 in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform range sampling (`Rng::gen_range` plumbing).
+pub mod uniform {
+    use crate::Rng;
+
+    /// Types `Rng::gen_range` can sample uniformly.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Samples uniformly from `[low, high)`.
+        fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Samples uniformly from `[low, high]`.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_inclusive(rng, start, end)
+        }
+    }
+
+    /// Unbiased sample from `[0, span]` via widening multiply with
+    /// rejection (Lemire's method).
+    fn sample_span<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let n = span + 1;
+        // Reject the final partial bucket so every residue is equally
+        // likely.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128) * (n as u128);
+            if (m as u64) <= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    low + sample_span(rng, (high - low - 1) as u64) as $t
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    low + sample_span(rng, (high - low) as u64) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u).wrapping_sub(1);
+                    low.wrapping_add(sample_span(rng, span as u64) as $t)
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as $u).wrapping_sub(low as $u);
+                    low.wrapping_add(sample_span(rng, span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty, $unit:ident);*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let u = $unit(rng);
+                    // Clamp guards the rare rounding case u*(high-low)
+                    // == high-low with large magnitudes.
+                    let v = low + u * (high - low);
+                    if v >= high { low } else { v }
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    low + $unit(rng) * (high - low)
+                }
+            }
+        )*};
+    }
+
+    fn unit_f32<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl_uniform_float!(f32, unit_f32; f64, unit_f64);
+}

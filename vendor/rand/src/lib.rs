@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of the [`rand`] crate API this
+//! workspace uses.
+//!
+//! The build container has no network access and no cargo registry
+//! cache, so the real `rand` crate cannot be fetched. This crate
+//! re-implements, from the published algorithm descriptions, exactly the
+//! surface the workspace needs:
+//!
+//! - [`rngs::SmallRng`]: xoshiro256++ (the same algorithm `rand 0.8`
+//!   uses for `SmallRng` on 64-bit targets), seeded through the
+//!   PCG-based `seed_from_u64` expansion of `rand_core 0.6`;
+//! - [`Rng`]: `gen`, `gen_range`, `gen_bool`, `fill`;
+//! - [`SeedableRng`]: `from_seed` / `seed_from_u64`;
+//! - [`seq::SliceRandom`]: Fisher–Yates `shuffle` and `choose`;
+//! - [`distributions`]: the `Distribution` trait and the `Standard`
+//!   distribution for the primitive types used here.
+//!
+//! Streams are deterministic per seed but are not guaranteed to be
+//! bit-identical to upstream `rand`; all workspace tests are seeded
+//! against *this* implementation.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core infallible random-number generator interface.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        (self.gen::<f64>()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed (the PCG-based expansion used by
+    /// `rand_core 0.6`) and builds the generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let bytes = xorshifted.rotate_right(rot).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f32_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3isize..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+        let mean: f64 = (0..10_000)
+            .map(|_| rng.gen_range(0.0f64..1.0))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

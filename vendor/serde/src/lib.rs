@@ -1,0 +1,432 @@
+//! Offline stand-in for the subset of [`serde`] this workspace uses.
+//!
+//! The build container has no network access, so the real `serde`
+//! cannot be fetched. This crate keeps the same import surface
+//! (`use serde::{Serialize, Deserialize};`, `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(default)]`) but replaces serde's
+//! serializer/visitor architecture with a much smaller tree-based data
+//! model: [`Serialize`] renders a value into a [`Value`] tree and
+//! [`Deserialize`] rebuilds a value from one. `serde_json` (also
+//! vendored) is the only data format in the workspace, and it speaks
+//! [`Value`] directly.
+//!
+//! Behavioural notes kept compatible with real serde + serde_json:
+//!
+//! - non-finite floats serialize to [`Value::Null`] (JSON has no
+//!   `NaN`/`Infinity`), and deserializing a float from `null` is an
+//!   error — which is why checkpoint saving validates finiteness first;
+//! - missing fields are an error unless marked `#[serde(default)]`;
+//! - unknown fields are ignored.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of JSON-compatible data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number (always finite).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object entry list (first match wins).
+    pub fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|e| Self::field(e, key))
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree cannot be decoded into the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Error for a field missing from an object.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Self::custom(format!("missing field `{field}` while decoding {ty}"))
+    }
+
+    /// Adds field context to an inner error.
+    #[must_use]
+    pub fn at(self, field: &str) -> Self {
+        Self::custom(format!("{}: {}", field, self.msg))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or explains why the tree does not match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape or range does not fit.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("integer {v} overflows")))?,
+                    Value::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => v as i64,
+                    ref other => {
+                        return Err(DeError::custom(format!("expected integer, got {other:?}")))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match *value {
+                    Value::U64(v) => v,
+                    Value::I64(v) => u64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("negative integer {v}")))?,
+                    Value::F64(v) if v.fract() == 0.0 && (0.0..1.9e19).contains(&v) => v as u64,
+                    ref other => {
+                        return Err(DeError::custom(format!("expected integer, got {other:?}")))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON cannot represent NaN/Infinity; serde_json writes null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| {
+            DeError::custom(format!(
+                "expected number, got {value:?} (note: non-finite floats encode as null)"
+            ))
+        })
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(DeError::custom(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => Err(DeError::custom(format!("expected 3-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_non_finite_maps_to_null() {
+        assert_eq!(f32::NAN.serialize(), Value::Null);
+        assert_eq!(f64::INFINITY.serialize(), Value::Null);
+        assert!(f32::deserialize(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn numeric_widening_round_trips() {
+        let v = 3_000_000_000u64.serialize();
+        assert_eq!(u64::deserialize(&v).unwrap(), 3_000_000_000);
+        assert!(i32::deserialize(&v).is_err());
+        assert_eq!(f64::deserialize(&Value::I64(-4)).unwrap(), -4.0);
+    }
+
+    #[test]
+    fn option_and_tuple() {
+        let v = Some((1usize, 2.5f64)).serialize();
+        let back: Option<(usize, f64)> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, Some((1, 2.5)));
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+    }
+}

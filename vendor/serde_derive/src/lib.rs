@@ -1,0 +1,361 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored offline `serde`
+//! stand-in.
+//!
+//! The real `serde_derive` leans on `syn`/`quote`; neither is available
+//! offline, so this macro walks the raw [`proc_macro::TokenStream`]
+//! directly and emits the impl as generated source text. Supported
+//! shapes are exactly what this workspace uses:
+//!
+//! - structs with named fields (optionally `#[serde(default)]` per field),
+//! - enums mixing unit variants and struct variants.
+//!
+//! Unit variants encode as a string (`"TopK"`); struct variants encode
+//! as a single-key object (`{"Threshold":{"alpha":0.5}}`) — the same
+//! externally-tagged representation real serde defaults to. Unknown
+//! object fields are ignored on deserialize; missing fields error unless
+//! marked `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when missing.
+    use_default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// Empty for unit variants; field list for struct variants.
+    fields: Vec<Field>,
+    is_struct: bool,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) is
+/// `serde(...)` containing the ident `default`.
+fn is_serde_default(body: &[TokenTree]) -> bool {
+    match body {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes attributes at `tokens[*pos]`, reporting whether any was
+/// `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut saw_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match tokens.get(*pos + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                saw_default |= is_serde_default(&body);
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    saw_default
+}
+
+/// Skips `pub` / `pub(crate)` style visibility at `tokens[*pos]`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected type name, got {other:?}"),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stand-in does not support generic types ({name})");
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!(
+            "derive(Serialize/Deserialize) stand-in supports only braced bodies for {name}, got {other:?}"
+        ),
+    };
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_named_fields(&body, &name)),
+        "enum" => ItemKind::Enum(parse_variants(&body, &name)),
+        other => panic!("derive(Serialize/Deserialize): unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` out of a struct/variant brace body. Types are
+/// skipped (angle-bracket aware) — codegen never needs them because the
+/// struct-literal position pins the `Deserialize` impl by inference.
+fn parse_named_fields(tokens: &[TokenTree], owner: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let use_default = skip_attributes(tokens, &mut pos);
+        skip_visibility(tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("{owner}: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "{owner}.{name}: expected `:` (tuple structs are unsupported), got {other:?}"
+            ),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // past the comma (or the end)
+        fields.push(Field { name, use_default });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree], owner: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(tokens, &mut pos); // includes #[default]
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("{owner}: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let (fields, is_struct) = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                (parse_named_fields(&body, owner), true)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("{owner}::{name}: tuple variants are unsupported by the serde stand-in")
+            }
+            _ => (Vec::new(), false),
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant {
+            name,
+            fields,
+            is_struct,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})),",
+            f.name
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// `field: <lookup or default or error>,` — shared by structs and struct
+/// variants. `entries` names a `&[(String, Value)]` binding in scope.
+fn field_decoders(owner: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.use_default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!("return Err(::serde::DeError::missing_field(\"{}\", \"{owner}\"))", f.name)
+        };
+        out.push_str(&format!(
+            "{0}: match ::serde::Value::field(entries, \"{0}\") {{\n\
+                 Some(v) => ::serde::Deserialize::deserialize(v).map_err(|e| e.at(\"{0}\"))?,\n\
+                 None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let decoders = field_decoders(name, fields);
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let entries = value.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                 let _ = entries;\n\
+                 Ok({name} {{ {decoders} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.is_struct {
+            let binds: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+            let mut entries = String::new();
+            for f in &v.fields {
+                entries.push_str(&format!(
+                    "(\"{0}\".to_string(), ::serde::Serialize::serialize({0})),",
+                    f.name
+                ));
+            }
+            arms.push_str(&format!(
+                "{name}::{v_name} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     \"{v_name}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),\n",
+                v_name = v.name,
+                binds = binds.join(", "),
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{0} => ::serde::Value::Str(\"{0}\".to_string()),\n",
+                v.name
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants.iter().filter(|v| !v.is_struct) {
+        unit_arms.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+    }
+    let mut tagged_arms = String::new();
+    for v in variants.iter().filter(|v| v.is_struct) {
+        let decoders = field_decoders(&format!("{name}::{}", v.name), &v.fields);
+        tagged_arms.push_str(&format!(
+            "\"{v_name}\" => {{\n\
+                 let entries = body.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected object body for variant `{name}::{v_name}`\"))?;\n\
+                 let _ = entries;\n\
+                 Ok({name}::{v_name} {{ {decoders} }})\n\
+             }}\n",
+            v_name = v.name,
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::DeError::custom(format!(\
+                             \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+                         let (tag, body) = &outer[0];\n\
+                         let _ = body;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                         \"expected variant of `{name}`, got {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
