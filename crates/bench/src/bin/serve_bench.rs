@@ -1,0 +1,235 @@
+//! Closed-loop load generator for the `antidote-serve` engine.
+//!
+//! Spawns `C` client threads, each submitting `R` requests back-to-back
+//! (a new request as soon as the previous response lands) against a
+//! seeded, untrained `vgg_tiny` replica pool. Requests cycle through
+//! four budget tiers — unbudgeted, loose, medium, and near the schedule
+//! floor — so every batch the micro-batcher forms is heterogeneous.
+//!
+//! Output: a human-readable summary plus the full
+//! [`antidote_serve::ServeMetrics`] JSON on stdout.
+//!
+//! Knobs (all `warn-and-ignore` on parse failure):
+//!
+//! - engine: `ANTIDOTE_SERVE_WORKERS`, `ANTIDOTE_SERVE_MAX_BATCH`,
+//!   `ANTIDOTE_SERVE_MAX_WAIT_MS`, `ANTIDOTE_SERVE_QUEUE_CAP`,
+//!   `ANTIDOTE_SERVE_DEADLINE_MS` (see `ServeConfig::from_env`);
+//! - load: `ANTIDOTE_SERVE_BENCH_CLIENTS`,
+//!   `ANTIDOTE_SERVE_BENCH_REQUESTS` (per client),
+//!   `ANTIDOTE_SERVE_BENCH_SEED`.
+//!
+//! `--smoke` runs a small deterministic workload and exits non-zero if
+//! any request fails or anything other than a clean completion occurs —
+//! CI uses it as the serving-path regression gate. Without `--smoke`
+//! the same workload runs twice, on 1 worker and on the configured
+//! worker count, and reports the throughput speedup.
+
+use antidote_core::PruneSchedule;
+use antidote_models::{Vgg, VggConfig};
+use antidote_serve::{
+    InferRequest, ModelFactory, ServeConfig, ServeEngine, ServeMetrics,
+};
+use antidote_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Synthetic model served by the benchmark: a deterministic, untrained
+/// `vgg_tiny` — serving cost and mask behaviour are what matter here,
+/// not accuracy. 64x64 inputs make one forward pass cost a meaningful
+/// fraction of the batch window, so worker-count effects are visible.
+const IMAGE_SIZE: usize = 64;
+const CLASSES: usize = 4;
+
+fn factory(seed: u64) -> ModelFactory {
+    Arc::new(move |_worker| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(IMAGE_SIZE, CLASSES)))
+    })
+}
+
+fn parse_env<T: std::str::FromStr>(key: &str, default: T) -> T {
+    match std::env::var(key) {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: ignoring unparseable {key}={raw}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+#[derive(Clone, Copy)]
+struct LoadSpec {
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+}
+
+struct LoadOutcome {
+    metrics: ServeMetrics,
+    /// Wall-clock request rate observed by the clients (completed / s).
+    throughput_rps: f64,
+    /// (budget, achieved) pairs for every budgeted completion.
+    budget_pairs: Vec<(f64, f64)>,
+    errors: Vec<String>,
+}
+
+/// Budget tiers cycled per request: `None` (dense), loose, medium, and
+/// near-floor, interpolated between the mapper's floor and dense costs.
+fn budget_for(tier: usize, floor: f64, dense: f64) -> Option<f64> {
+    let lerp = |f: f64| floor + f * (dense - floor);
+    match tier % 4 {
+        0 => None,
+        1 => Some(lerp(0.9)),
+        2 => Some(lerp(0.5)),
+        _ => Some(lerp(0.05)),
+    }
+}
+
+fn run_load(cfg: ServeConfig, spec: LoadSpec) -> LoadOutcome {
+    let engine = ServeEngine::start(cfg, factory(spec.seed)).expect("engine start");
+    let handle = engine.handle();
+    let floor = handle.floor_macs();
+    let dense = handle.dense_macs();
+    let start = std::time::Instant::now();
+    let clients: Vec<_> = (0..spec.clients)
+        .map(|c| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(spec.seed + 1 + c as u64);
+                let mut pairs = Vec::new();
+                let mut errors = Vec::new();
+                for r in 0..spec.requests_per_client {
+                    let input = Tensor::from_fn([3, IMAGE_SIZE, IMAGE_SIZE], |_| {
+                        rng.gen::<f32>() - 0.5
+                    });
+                    let budget = budget_for(c + r, floor, dense);
+                    let mut req = InferRequest::new(input);
+                    if let Some(b) = budget {
+                        req = req.with_budget(b);
+                    }
+                    // Closed loop: block on the response before the next
+                    // submission.
+                    match handle.submit(req).and_then(|p| p.wait()) {
+                        Ok(resp) => {
+                            if let Some(b) = budget {
+                                pairs.push((b, resp.achieved_macs));
+                            }
+                        }
+                        Err(e) => errors.push(format!("client {c} request {r}: {e}")),
+                    }
+                }
+                (pairs, errors)
+            })
+        })
+        .collect();
+    let mut budget_pairs = Vec::new();
+    let mut errors = Vec::new();
+    for client in clients {
+        let (pairs, errs) = client.join().expect("client thread panicked");
+        budget_pairs.extend(pairs);
+        errors.extend(errs);
+    }
+    let elapsed = start.elapsed();
+    let metrics = engine.shutdown();
+    let throughput_rps = metrics.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    LoadOutcome {
+        metrics,
+        throughput_rps,
+        budget_pairs,
+        errors,
+    }
+}
+
+fn print_summary(label: &str, out: &LoadOutcome) {
+    let m = &out.metrics;
+    println!("--- {label} ---");
+    println!(
+        "completed {} | rejected {} | expired {} | infeasible {} | panicked {}",
+        m.completed, m.rejected_full, m.expired, m.infeasible, m.panicked
+    );
+    println!(
+        "throughput {:.1} req/s | mean batch {:.2} | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
+        out.throughput_rps, m.mean_batch_size, m.latency.p50_ms, m.latency.p95_ms, m.latency.p99_ms
+    );
+    println!(
+        "budgeted {} | mean budget utilization {:.3} | max {:.3}",
+        m.budget.budgeted_requests, m.budget.mean_utilization, m.budget.max_utilization
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let spec = LoadSpec {
+        clients: parse_env("ANTIDOTE_SERVE_BENCH_CLIENTS", 3usize),
+        requests_per_client: parse_env(
+            "ANTIDOTE_SERVE_BENCH_REQUESTS",
+            if smoke { 8usize } else { 32 },
+        ),
+        seed: parse_env("ANTIDOTE_SERVE_BENCH_SEED", 42u64),
+    };
+    let cfg = ServeConfig {
+        workers: 4,
+        max_batch: 8,
+        max_wait: Duration::from_millis(4),
+        // Closed-loop clients bound in-flight requests, so the queue
+        // only needs headroom for one round per client.
+        queue_capacity: 64,
+        base_schedule: PruneSchedule::channel_only(vec![0.6, 0.6]),
+        ..ServeConfig::default()
+    }
+    .with_env_overrides();
+
+    if smoke {
+        let out = run_load(cfg, spec);
+        print_summary("smoke", &out);
+        println!("{}", out.metrics.to_json());
+        let expected = (spec.clients * spec.requests_per_client) as u64;
+        let mut failed = false;
+        if out.metrics.completed == 0 || out.metrics.completed != expected {
+            eprintln!(
+                "SMOKE FAIL: completed {} of {expected} requests",
+                out.metrics.completed
+            );
+            failed = true;
+        }
+        if !out.errors.is_empty() {
+            for e in &out.errors {
+                eprintln!("SMOKE FAIL: unexpected error: {e}");
+            }
+            failed = true;
+        }
+        for (budget, achieved) in &out.budget_pairs {
+            if achieved > budget {
+                eprintln!("SMOKE FAIL: achieved MACs {achieved} exceeds budget {budget}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke ok: {} completions, 0 unexpected errors", out.metrics.completed);
+        return;
+    }
+
+    // Full mode: same seeded workload on 1 worker vs the configured
+    // pool, reporting the coalescing-overlap speedup.
+    let single = run_load(
+        ServeConfig {
+            workers: 1,
+            ..cfg.clone()
+        },
+        spec,
+    );
+    print_summary("1 worker", &single);
+    let pooled = run_load(cfg.clone(), spec);
+    print_summary(&format!("{} workers", cfg.workers), &pooled);
+    println!(
+        "speedup: {:.2}x ({:.1} -> {:.1} req/s)",
+        pooled.throughput_rps / single.throughput_rps.max(1e-9),
+        single.throughput_rps,
+        pooled.throughput_rps
+    );
+    println!("{}", pooled.metrics.to_json());
+}

@@ -7,15 +7,18 @@ use antidote_core::checkpoint::{restore_tensors, LoadCheckpointError};
 use antidote_core::flops::analytic_flops;
 use antidote_core::report::ExperimentRow;
 use antidote_core::settings::{baseline_rows, PaperSetting, Workload};
-use antidote_core::trainer::{
-    evaluate, evaluate_measured, evaluate_plain, train_with_options, TrainConfig,
-};
+use antidote_core::trainer::{evaluate, evaluate_plain, train_with_options, TrainConfig};
 use antidote_core::{
     train_ttd_with_options, PruneSchedule, RecoverySettings, RunOptions, TrainError, TtdConfig,
 };
-use antidote_models::{Network, NoopHook};
+use antidote_data::{BatchIter, Split};
+use antidote_models::{FeatureHook, Network, NoopHook};
+use antidote_nn::loss::accuracy;
+use antidote_nn::masked::MacCounter;
+use antidote_serve::LatencySummary;
 use antidote_tensor::Tensor;
 use std::fmt;
+use std::time::Instant;
 
 /// Copies every trainable parameter of `net` (used to reset a trained
 /// network between static-baseline runs so all methods start from the
@@ -102,6 +105,55 @@ impl WorkloadRunOptions {
         opts.inject_fault_epoch = parse::<usize>("ANTIDOTE_INJECT_FAULT");
         opts.inject_workload = std::env::var("ANTIDOTE_INJECT_WORKLOAD").ok();
         opts
+    }
+}
+
+/// Accuracy, measured cost, and per-batch latency distribution of one
+/// masked-executor evaluation pass.
+#[derive(Debug, Clone)]
+pub struct MeasuredEval {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Measured MACs per image.
+    pub macs_per_image: f64,
+    /// Per-batch forward latency distribution (p50/p95/p99 via the
+    /// [`antidote_serve::percentile`] helper the serving metrics use).
+    pub latency: LatencySummary,
+}
+
+/// [`evaluate_measured`]-equivalent that also times every batch's
+/// masked forward pass, summarizing the distribution as percentiles
+/// instead of a bare mean — a mean hides the tail that serving SLOs
+/// care about.
+pub fn evaluate_measured_timed(
+    net: &mut dyn Network,
+    split: &Split,
+    hook: &mut dyn FeatureHook,
+    batch_size: usize,
+) -> MeasuredEval {
+    let mut counter = MacCounter::new();
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    let mut batch_times = Vec::new();
+    for (images, labels) in BatchIter::new(split, batch_size, None) {
+        let start = Instant::now();
+        let logits = net.forward_measured(&images, hook, &mut counter);
+        batch_times.push(start.elapsed());
+        correct += (accuracy(&logits, &labels) * labels.len() as f32) as f64;
+        total += labels.len();
+    }
+    let latency = LatencySummary::from_durations(&batch_times);
+    if total == 0 {
+        return MeasuredEval {
+            accuracy: 0.0,
+            macs_per_image: 0.0,
+            latency,
+        };
+    }
+    MeasuredEval {
+        accuracy: (correct / total as f64) as f32,
+        macs_per_image: counter.total() as f64 / total as f64,
+        latency,
     }
 }
 
@@ -234,8 +286,9 @@ pub fn run_table1_workload(
         ));
     }
     let baseline_acc = evaluate_plain(baseline_net.as_mut(), &data.test, rw.batch_size) * 100.0;
-    let (_, dense_macs_per_img) =
-        evaluate_measured(baseline_net.as_mut(), &data.test, &mut NoopHook, rw.batch_size);
+    let dense_eval =
+        evaluate_measured_timed(baseline_net.as_mut(), &data.test, &mut NoopHook, rw.batch_size);
+    let dense_macs_per_img = dense_eval.macs_per_image;
     notes.push(format!(
         "{}: repro baseline acc {:.2}% (paper {:.1}%); dense measured MACs/img {:.3e} at repro scale, paper-scale baseline {:.3e}",
         rw.workload.name(),
@@ -243,6 +296,14 @@ pub fn run_table1_workload(
         rw.paper_baseline_acc(),
         dense_macs_per_img,
         paper_baseline_macs as f64,
+    ));
+    notes.push(format!(
+        "{}: dense per-batch latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms ({} batches)",
+        rw.workload.name(),
+        dense_eval.latency.p50_ms,
+        dense_eval.latency.p95_ms,
+        dense_eval.latency.p99_ms,
+        dense_eval.latency.count,
     ));
     let trained_snapshot = snapshot_params(baseline_net.as_mut());
 
@@ -312,8 +373,9 @@ pub fn run_table1_workload(
             })?;
         let mut pruner = outcome.pruner;
         let acc = evaluate(net.as_mut(), &data.test, &mut pruner, rw.batch_size) * 100.0;
-        let (acc_measured, pruned_macs_per_img) =
-            evaluate_measured(net.as_mut(), &data.test, &mut pruner, rw.batch_size);
+        let pruned_eval =
+            evaluate_measured_timed(net.as_mut(), &data.test, &mut pruner, rw.batch_size);
+        let pruned_macs_per_img = pruned_eval.macs_per_image;
         let breakdown = analytic_flops(&paper_shapes, &setting.schedule);
         let measured_reduction =
             100.0 * (1.0 - pruned_macs_per_img / dense_macs_per_img);
@@ -326,7 +388,16 @@ pub fn run_table1_workload(
             measured_reduction,
             breakdown.reduction_pct(),
             acc,
-            acc_measured * 100.0,
+            pruned_eval.accuracy * 100.0,
+        ));
+        notes.push(format!(
+            "{} / {}: pruned per-batch latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms ({} batches)",
+            rw.workload.name(),
+            setting.name,
+            pruned_eval.latency.p50_ms,
+            pruned_eval.latency.p95_ms,
+            pruned_eval.latency.p99_ms,
+            pruned_eval.latency.count,
         ));
         rows.push(ExperimentRow {
             experiment: "table1".into(),
@@ -436,6 +507,29 @@ mod tests {
         assert_eq!(opts.grad_clip, None);
         assert_eq!(opts.inject_fault_epoch, None);
         assert_eq!(opts.inject_workload, None);
+    }
+
+    #[test]
+    fn timed_eval_matches_untimed_and_orders_percentiles() {
+        use antidote_core::trainer::evaluate_measured;
+        use antidote_data::SynthConfig;
+        use antidote_models::{Vgg, VggConfig};
+
+        // 3 classes x 4 test samples per class = 12 images.
+        let data = SynthConfig::tiny(3, 8).with_samples(4, 4).generate();
+        let mut net = Vgg::new(
+            &mut SmallRng::seed_from_u64(9),
+            VggConfig::vgg_tiny(8, 3),
+        );
+        let timed = evaluate_measured_timed(&mut net, &data.test, &mut NoopHook, 4);
+        let (acc, macs) = evaluate_measured(&mut net, &data.test, &mut NoopHook, 4);
+        assert_eq!(timed.accuracy, acc);
+        assert_eq!(timed.macs_per_image, macs);
+        assert_eq!(timed.latency.count, 3, "12 samples / batch 4 = 3 batches");
+        assert!(timed.latency.p50_ms <= timed.latency.p95_ms);
+        assert!(timed.latency.p95_ms <= timed.latency.p99_ms);
+        assert!(timed.latency.p99_ms <= timed.latency.max_ms);
+        assert!(timed.latency.max_ms > 0.0);
     }
 
     #[test]

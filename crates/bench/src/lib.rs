@@ -10,6 +10,7 @@
 //! | Fig. 3 (block sensitivity) | `… --bin fig3 --release` |
 //! | Fig. 4 (redundancy composition) | `… --bin fig4 --release` |
 //! | Sec. IV-B ratio ascent behaviour | `… --bin ttd_ascent --release` |
+//! | Serving throughput/latency under budgets | `… --bin serve_bench --release` |
 //!
 //! plus Criterion kernel benches (`cargo bench -p antidote-bench`):
 //! `masked_conv`, `table1_flops`, `fig2_criteria`, `fig3_sensitivity`,
@@ -25,7 +26,8 @@ mod harness;
 mod workloads;
 
 pub use harness::{
-    restore_params, run_table1_workload, snapshot_params, static_schedule_for, write_report,
-    WorkloadError, WorkloadResult, WorkloadRunOptions,
+    evaluate_measured_timed, restore_params, run_table1_workload, snapshot_params,
+    static_schedule_for, write_report, MeasuredEval, WorkloadError, WorkloadResult,
+    WorkloadRunOptions,
 };
 pub use workloads::{ModelKind, ReproWorkload, Scale};

@@ -18,6 +18,19 @@ use antidote_tensor::Tensor;
 /// - [`Network::forward_measured`]: inference that *skips* masked
 ///   computation via the masked conv executor and returns measured MACs —
 ///   used for the FLOPs columns of the experiment tables.
+///
+/// # Threading model
+///
+/// Every forward flavour takes `&mut self`: layers cache activations for
+/// the backward pass even in inference mode, so a single replica cannot
+/// serve two threads at once. Concurrent serving therefore uses
+/// **clone-per-worker replication** — each worker thread owns a private
+/// replica built from the same seed (see `antidote-serve`'s
+/// `ModelFactory`), which keeps replicas bit-identical without sharing
+/// mutable state. The trait requires `Send` so replicas can be moved
+/// into worker threads, and the concrete models in this crate are also
+/// `Sync` (they hold no interior mutability), which the test suite
+/// asserts at compile time.
 pub trait Network: std::fmt::Debug + Send {
     /// Forward pass with a feature hook at every tap.
     fn forward_hooked(
@@ -73,5 +86,35 @@ pub trait Network: std::fmt::Debug + Send {
     /// Zeroes all accumulated gradients.
     fn zero_grad(&mut self) {
         self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod thread_safety {
+    //! Compile-time audit backing the clone-per-worker threading model:
+    //! every model in the zoo must be movable into a worker thread
+    //! (`Send`) and shareable behind `&` (`Sync` — no interior
+    //! mutability). A regression here (e.g. an `Rc` or `RefCell` slipped
+    //! into a layer) fails to compile rather than deadlocking at runtime.
+
+    use crate::{Network, ResNet, ShrunkResNet, ShrunkVgg, Vgg};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send + ?Sized>() {}
+
+    #[test]
+    fn models_are_send_and_sync() {
+        assert_send_sync::<Vgg>();
+        assert_send_sync::<ResNet>();
+        assert_send_sync::<ShrunkVgg>();
+        assert_send_sync::<ShrunkResNet>();
+    }
+
+    #[test]
+    fn boxed_networks_cross_threads() {
+        // The serving engine moves `Box<dyn Network>` replicas into
+        // `std::thread` workers; the trait object itself must be `Send`.
+        assert_send::<dyn Network>();
+        assert_send_sync::<Box<Vgg>>();
     }
 }

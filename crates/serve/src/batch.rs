@@ -1,0 +1,191 @@
+//! Mixed-budget batching: one forward pass, one schedule per request.
+//!
+//! [`antidote_core::DynamicPruner`] applies a single [`PruneSchedule`]
+//! to every item of a batch. A serving batch is heterogeneous — each
+//! request resolved its own schedule from its own compute budget — so
+//! this hook evaluates the shared attention statistics once per tap and
+//! then binarizes them *per item* with that item's keep fractions
+//! (Eqs. 1–4 applied per request). It also records the keep fractions of
+//! every emitted mask so the engine can charge each request its achieved
+//! FLOPs.
+
+use antidote_core::attention::{channel_attention, spatial_attention, Statistic};
+use antidote_core::mask::{binarize, MaskPolicy};
+use antidote_core::PruneSchedule;
+use antidote_models::{FeatureHook, TapInfo};
+use antidote_nn::masked::FeatureMask;
+use antidote_nn::Mode;
+use antidote_tensor::Tensor;
+
+/// A [`FeatureHook`] carrying one schedule per batch item.
+#[derive(Debug)]
+pub struct MixedBatchPruner {
+    schedules: Vec<PruneSchedule>,
+    statistic: Statistic,
+    /// `fractions[item][tap] = (channel_keep, spatial_keep)` actually
+    /// realized by the emitted masks (1.0 where no mask was applied).
+    fractions: Vec<Vec<(f64, f64)>>,
+}
+
+impl MixedBatchPruner {
+    /// Creates a pruner for a batch whose item `i` runs under
+    /// `schedules[i]`. `tap_count` sizes the per-item fraction records.
+    pub fn new(schedules: Vec<PruneSchedule>, tap_count: usize) -> Self {
+        let n = schedules.len();
+        Self {
+            schedules,
+            statistic: Statistic::Mean,
+            fractions: vec![vec![(1.0, 1.0); tap_count]; n],
+        }
+    }
+
+    /// Per-item, per-tap keep fractions realized so far.
+    pub fn fractions(&self) -> &[Vec<(f64, f64)>] {
+        &self.fractions
+    }
+
+    /// Consumes the pruner, returning the realized keep fractions.
+    pub fn into_fractions(self) -> Vec<Vec<(f64, f64)>> {
+        self.fractions
+    }
+}
+
+impl FeatureHook for MixedBatchPruner {
+    fn on_feature(
+        &mut self,
+        tap: TapInfo,
+        feature: &Tensor,
+        _mode: Mode,
+    ) -> Option<Vec<FeatureMask>> {
+        let (n, c, h, w) = feature.shape().as_nchw().expect("tap feature must be NCHW");
+        assert_eq!(
+            n,
+            self.schedules.len(),
+            "batch size disagrees with per-item schedule count"
+        );
+        let keeps: Vec<(f64, f64)> = self
+            .schedules
+            .iter()
+            .map(|s| (s.channel_keep(tap.block), s.spatial_keep(tap.block)))
+            .collect();
+        if keeps.iter().all(|&(ck, sk)| ck >= 1.0 && sk >= 1.0) {
+            return None;
+        }
+        // Attention statistics are shared across the batch (they are
+        // per-item reductions anyway); binarization is per item.
+        let ch_att = keeps
+            .iter()
+            .any(|&(ck, _)| ck < 1.0)
+            .then(|| channel_attention(feature, self.statistic));
+        let sp_att = keeps
+            .iter()
+            .any(|&(_, sk)| sk < 1.0)
+            .then(|| spatial_attention(feature, self.statistic));
+        let plane = h * w;
+        let mut masks = Vec::with_capacity(n);
+        for (ni, &(ck, sk)) in keeps.iter().enumerate() {
+            let channel = ch_att.as_ref().filter(|_| ck < 1.0).map(|a| {
+                binarize(&a.data()[ni * c..(ni + 1) * c], ck, MaskPolicy::TopK)
+            });
+            let spatial = sp_att.as_ref().filter(|_| sk < 1.0).map(|a| {
+                binarize(
+                    &a.data()[ni * plane..(ni + 1) * plane],
+                    sk,
+                    MaskPolicy::TopK,
+                )
+            });
+            let mask = FeatureMask { channel, spatial };
+            if let Some(slot) = self
+                .fractions
+                .get_mut(ni)
+                .and_then(|f| f.get_mut(tap.id.0))
+            {
+                *slot = (mask.channel_keep_fraction(), mask.spatial_keep_fraction());
+            }
+            masks.push(mask);
+        }
+        Some(masks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_models::TapId;
+
+    fn tap(id: usize, block: usize) -> TapInfo {
+        TapInfo {
+            id: TapId(id),
+            block,
+            channels: 4,
+            spatial: 2,
+        }
+    }
+
+    #[test]
+    fn items_get_their_own_keep_fractions() {
+        // Item 0: keep half the channels. Item 1: dense.
+        let schedules = vec![
+            PruneSchedule::channel_only(vec![0.5]),
+            PruneSchedule::none(),
+        ];
+        let mut p = MixedBatchPruner::new(schedules, 1);
+        let f = Tensor::from_fn([2, 4, 2, 2], |i| i as f32);
+        let masks = p.on_feature(tap(0, 0), &f, Mode::Eval).unwrap();
+        let kept0 = masks[0].channel.as_ref().unwrap().iter().filter(|&&b| b).count();
+        assert_eq!(kept0, 2);
+        assert_eq!(masks[1].channel, None, "dense item must not be masked");
+        assert_eq!(p.fractions()[0][0].0, 0.5);
+        assert_eq!(p.fractions()[1][0].0, 1.0);
+    }
+
+    #[test]
+    fn all_dense_batch_returns_none() {
+        let schedules = vec![PruneSchedule::none(), PruneSchedule::none()];
+        let mut p = MixedBatchPruner::new(schedules, 1);
+        let f = Tensor::zeros([2, 4, 2, 2]);
+        assert!(p.on_feature(tap(0, 0), &f, Mode::Eval).is_none());
+    }
+
+    #[test]
+    fn masks_match_single_schedule_pruner_semantics() {
+        // With identical schedules for every item, masks must equal what
+        // the attention criterion dictates: highest-mean channels stay.
+        let schedules = vec![PruneSchedule::channel_only(vec![0.75]); 1];
+        let mut p = MixedBatchPruner::new(schedules, 1);
+        let f = Tensor::from_vec(
+            vec![
+                9.0, 9.0, 9.0, 9.0, // ch0 hot
+                0.1, 0.1, 0.1, 0.1, // ch1 cold
+                5.0, 5.0, 5.0, 5.0, // ch2 warm
+                0.2, 0.2, 0.2, 0.2, // ch3 cold
+            ],
+            &[1, 4, 2, 2],
+        )
+        .unwrap();
+        let masks = p.on_feature(tap(0, 0), &f, Mode::Eval).unwrap();
+        assert_eq!(masks[0].channel, Some(vec![true, false, false, false]));
+    }
+
+    #[test]
+    fn spatial_fractions_recorded() {
+        let schedules = vec![PruneSchedule::spatial_only(vec![0.75])];
+        let mut p = MixedBatchPruner::new(schedules, 2);
+        let f = Tensor::from_vec(vec![0.0, 0.0, 0.0, 9.0], &[1, 1, 2, 2]).unwrap();
+        let masks = p
+            .on_feature(
+                TapInfo {
+                    id: TapId(1),
+                    block: 0,
+                    channels: 1,
+                    spatial: 2,
+                },
+                &f,
+                Mode::Eval,
+            )
+            .unwrap();
+        assert_eq!(masks[0].spatial, Some(vec![false, false, false, true]));
+        assert_eq!(p.fractions()[0][1], (1.0, 0.25));
+        assert_eq!(p.fractions()[0][0], (1.0, 1.0), "untouched tap stays dense");
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-request compute budgets → per-input pruning schedules.
+//!
+//! A serving request may carry a FLOPs (MAC) budget. The engine maps it
+//! to the *least aggressive* scaling of a base [`PruneSchedule`] whose
+//! analytic cost fits the budget — maximizing retained accuracy subject
+//! to the compute constraint. Two refinements over
+//! [`antidote_core::flops::analytic_flops`] make the prediction exact
+//! with respect to the masks the pruner will actually emit:
+//!
+//! 1. **Quantization.** The top-k binarization keeps `k = round(p·n)`
+//!    components (Eq. 3/4), so the effective keep fraction at a tap with
+//!    `n` components is `round(p·n)/n`, not `p`. The mapper evaluates the
+//!    quantized fractions per tap.
+//! 2. **Per-tap evaluation.** Fractions are resolved per tap (from
+//!    [`TapInfo::channels`]/[`TapInfo::spatial`]), then charged to the
+//!    next conv layer exactly as the analytic model does.
+//!
+//! Budgets below the cost floor of the fully applied base schedule are a
+//! typed [`BudgetError::Infeasible`] — the engine rejects such requests
+//! at admission instead of silently over-spending.
+
+use antidote_core::PruneSchedule;
+use antidote_models::{ConvShape, TapInfo};
+
+/// Why a request's budget could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetError {
+    /// The budget is NaN, infinite, or non-positive.
+    Invalid {
+        /// The offending budget value (MACs).
+        budget: f64,
+    },
+    /// The budget is below the cheapest operating point the base
+    /// schedule allows.
+    Infeasible {
+        /// The requested budget (MACs).
+        budget: f64,
+        /// The minimum achievable cost under the base schedule (MACs).
+        floor: f64,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Invalid { budget } => {
+                write!(f, "budget {budget} MACs is not a positive finite number")
+            }
+            BudgetError::Infeasible { budget, floor } => write!(
+                f,
+                "budget {budget:.3e} MACs is below the schedule floor {floor:.3e} MACs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// The resolved operating point for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPlan {
+    /// The schedule the pruner will apply for this request.
+    pub schedule: PruneSchedule,
+    /// Predicted cost of that schedule under the quantized analytic
+    /// model (MACs per image). Equals the achieved cost of the emitted
+    /// masks, because top-k keeps exactly `round(p·n)` components.
+    pub predicted_macs: f64,
+    /// The scale factor applied to the base schedule's prune ratios
+    /// (0.0 = dense, 1.0 = full base schedule).
+    pub scale: f64,
+}
+
+/// Maps FLOPs budgets to schedules for one model architecture.
+#[derive(Debug, Clone)]
+pub struct BudgetMapper {
+    shapes: Vec<ConvShape>,
+    taps: Vec<TapInfo>,
+    /// `layer_tap[l]` is the tap index observing layer `l`'s output
+    /// feature map, when that output is prunable.
+    layer_tap: Vec<Option<usize>>,
+    base: PruneSchedule,
+    dense_macs: f64,
+    floor_macs: f64,
+}
+
+/// Quantizes a keep fraction to what top-k binarization realizes over
+/// `n` components: `round(p·n)/n` (and exactly 1.0 when nothing is
+/// pruned, since the pruner skips masking at `p ≥ 1`).
+fn quantize_keep(fraction: f64, n: usize) -> f64 {
+    if fraction >= 1.0 || n == 0 {
+        return 1.0;
+    }
+    let k = ((fraction * n as f64).round() as usize).min(n);
+    k as f64 / n as f64
+}
+
+impl BudgetMapper {
+    /// Builds a mapper from a model's conv shapes and taps plus the most
+    /// aggressive schedule the operator allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` does not line up with the prunable outputs in
+    /// `shapes` (count or channel mismatch) — that indicates the caller
+    /// paired shapes and taps from different models.
+    pub fn new(shapes: Vec<ConvShape>, taps: Vec<TapInfo>, base: PruneSchedule) -> Self {
+        let mut layer_tap = vec![None; shapes.len()];
+        let mut next_tap = 0usize;
+        for (l, shape) in shapes.iter().enumerate() {
+            if shape.prunable_output {
+                assert!(
+                    next_tap < taps.len(),
+                    "model has more prunable conv outputs than taps"
+                );
+                let tap = &taps[next_tap];
+                assert_eq!(
+                    tap.channels, shape.out_channels,
+                    "tap {next_tap} channel count disagrees with conv layer {l}"
+                );
+                layer_tap[l] = Some(next_tap);
+                next_tap += 1;
+            }
+        }
+        assert_eq!(next_tap, taps.len(), "model has more taps than prunable conv outputs");
+        let mut mapper = Self {
+            shapes,
+            taps,
+            layer_tap,
+            base,
+            dense_macs: 0.0,
+            floor_macs: 0.0,
+        };
+        mapper.dense_macs = mapper.macs_at_scale(0.0);
+        mapper.floor_macs = mapper.macs_at_scale(1.0);
+        mapper
+    }
+
+    /// Cost of running one image dense (no pruning), MACs.
+    pub fn dense_macs(&self) -> f64 {
+        self.dense_macs
+    }
+
+    /// Cheapest operating point under the base schedule, MACs.
+    pub fn floor_macs(&self) -> f64 {
+        self.floor_macs
+    }
+
+    /// The most aggressive schedule this mapper will scale within.
+    pub fn base_schedule(&self) -> &PruneSchedule {
+        &self.base
+    }
+
+    /// Number of taps (prunable feature maps) on the served model.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Quantized per-tap `(channel_keep, spatial_keep)` fractions the
+    /// pruner realizes under `schedule`.
+    pub fn quantized_fractions(&self, schedule: &PruneSchedule) -> Vec<(f64, f64)> {
+        self.taps
+            .iter()
+            .map(|tap| {
+                let plane = tap.spatial * tap.spatial;
+                (
+                    quantize_keep(schedule.channel_keep(tap.block), tap.channels),
+                    quantize_keep(schedule.spatial_keep(tap.block), plane),
+                )
+            })
+            .collect()
+    }
+
+    /// Analytic MACs per image given actual per-tap keep fractions
+    /// (indexed by tap order, as recorded from emitted masks): each conv
+    /// layer is charged `ck·sk` of its dense cost, where the fractions
+    /// come from the tap observing the *previous* layer's output.
+    pub fn macs_from_fractions(&self, per_tap: &[(f64, f64)]) -> f64 {
+        let mut total = 0.0;
+        for (l, shape) in self.shapes.iter().enumerate() {
+            let (ck, sk) = l
+                .checked_sub(1)
+                .and_then(|p| self.layer_tap[p])
+                .and_then(|t| per_tap.get(t).copied())
+                .unwrap_or((1.0, 1.0));
+            total += shape.macs() as f64 * ck * sk;
+        }
+        total
+    }
+
+    fn macs_at_scale(&self, scale: f64) -> f64 {
+        let schedule = self.base.scaled(scale);
+        self.macs_from_fractions(&self.quantized_fractions(&schedule))
+    }
+
+    /// Resolves a budget to an operating point.
+    ///
+    /// `None` means "no budget": the request runs dense. A finite budget
+    /// binary-searches the smallest prune-ratio scale whose quantized
+    /// analytic cost fits, so the returned plan never exceeds the budget
+    /// and prunes no more than necessary.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::Invalid`] for non-positive/non-finite budgets;
+    /// [`BudgetError::Infeasible`] for budgets below
+    /// [`BudgetMapper::floor_macs`].
+    pub fn plan(&self, budget: Option<f64>) -> Result<BudgetPlan, BudgetError> {
+        let Some(budget) = budget else {
+            return Ok(BudgetPlan {
+                schedule: PruneSchedule::none(),
+                predicted_macs: self.dense_macs,
+                scale: 0.0,
+            });
+        };
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(BudgetError::Invalid { budget });
+        }
+        if budget >= self.dense_macs {
+            return Ok(BudgetPlan {
+                schedule: PruneSchedule::none(),
+                predicted_macs: self.dense_macs,
+                scale: 0.0,
+            });
+        }
+        if budget < self.floor_macs {
+            return Err(BudgetError::Infeasible {
+                budget,
+                floor: self.floor_macs,
+            });
+        }
+        // macs_at_scale is non-increasing in the scale, so bisect for the
+        // smallest feasible scale. `hi` is feasible throughout (the floor
+        // check above seeds the invariant).
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.macs_at_scale(mid) <= budget {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let schedule = self.base.scaled(hi);
+        let predicted_macs = self.macs_at_scale(hi);
+        debug_assert!(predicted_macs <= budget);
+        Ok(BudgetPlan {
+            schedule,
+            predicted_macs,
+            scale: hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_models::{Network, Vgg, VggConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mapper(base: PruneSchedule) -> BudgetMapper {
+        let cfg = VggConfig::vgg_tiny(16, 4);
+        let net = Vgg::new(&mut SmallRng::seed_from_u64(0), cfg.clone());
+        BudgetMapper::new(cfg.conv_shapes(), net.taps(), base)
+    }
+
+    #[test]
+    fn no_budget_runs_dense() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.9, 0.9]));
+        let plan = m.plan(None).unwrap();
+        assert!(plan.schedule.is_noop());
+        assert_eq!(plan.predicted_macs, m.dense_macs());
+        assert_eq!(plan.scale, 0.0);
+    }
+
+    #[test]
+    fn generous_budget_runs_dense() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.9, 0.9]));
+        let plan = m.plan(Some(m.dense_macs() * 2.0)).unwrap();
+        assert!(plan.schedule.is_noop());
+    }
+
+    #[test]
+    fn invalid_budgets_are_typed() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.9, 0.9]));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                m.plan(Some(bad)),
+                Err(BudgetError::Invalid { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn budget_below_floor_is_infeasible() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.5, 0.5]));
+        assert!(m.floor_macs() > 0.0);
+        let err = m.plan(Some(m.floor_macs() * 0.5)).unwrap_err();
+        match err {
+            BudgetError::Infeasible { floor, .. } => {
+                assert!((floor - m.floor_macs()).abs() < 1e-6);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        assert!(err.to_string().contains("below the schedule floor"));
+    }
+
+    #[test]
+    fn plans_fit_budget_and_prune_minimally() {
+        let m = mapper(PruneSchedule::new(vec![0.9, 0.9], vec![0.5, 0.5]));
+        let mut last_scale = -0.1;
+        for frac in [0.95, 0.8, 0.6, 0.2] {
+            // Interpolate strictly between the schedule floor and dense so
+            // every budget is feasible regardless of model proportions.
+            let budget = m.floor_macs() + frac * (m.dense_macs() - m.floor_macs());
+            let plan = m.plan(Some(budget)).unwrap();
+            assert!(
+                plan.predicted_macs <= budget,
+                "predicted {} exceeds budget {budget}",
+                plan.predicted_macs
+            );
+            assert!(
+                plan.scale >= last_scale - 1e-9,
+                "tighter budgets must prune at least as aggressively"
+            );
+            last_scale = plan.scale;
+        }
+    }
+
+    #[test]
+    fn prediction_matches_quantized_fractions() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.7, 0.7]));
+        let budget = m.floor_macs() + 0.5 * (m.dense_macs() - m.floor_macs());
+        let plan = m.plan(Some(budget)).unwrap();
+        let fr = m.quantized_fractions(&plan.schedule);
+        let recomputed = m.macs_from_fractions(&fr);
+        assert!((recomputed - plan.predicted_macs).abs() < 1e-6);
+        // Quantized fractions are realizable top-k counts.
+        for (tap, (ck, _)) in m.taps.iter().zip(&fr) {
+            let k = ck * tap.channels as f64;
+            assert!((k - k.round()).abs() < 1e-9, "ck·C must be integral");
+        }
+    }
+
+    #[test]
+    fn monotone_cost_in_scale() {
+        let m = mapper(PruneSchedule::new(vec![0.8, 0.8], vec![0.6, 0.6]));
+        let mut prev = f64::INFINITY;
+        for i in 0..=20 {
+            let macs = m.macs_at_scale(i as f64 / 20.0);
+            assert!(macs <= prev + 1e-9, "cost must not increase with scale");
+            prev = macs;
+        }
+        assert!((m.macs_at_scale(0.0) - m.dense_macs()).abs() < 1e-9);
+        assert!((m.macs_at_scale(1.0) - m.floor_macs()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,737 @@
+//! The serving engine: admission → bounded queue → micro-batcher →
+//! worker pool → per-request responses.
+//!
+//! ```text
+//!  clients ──submit──▶ [BudgetMapper] ──▶ [BoundedQueue] ──pop──▶ workers (N replicas)
+//!                          │ infeasible        │ full                │
+//!                          ▼ typed reject      ▼ typed reject        ▼ batch ≤ max_batch,
+//!                                                               window ≤ max_wait
+//!                                                                    │
+//!                        responses ◀── per-item logits + achieved FLOPs
+//!                                            │
+//!                                       [ServeMetrics]
+//! ```
+//!
+//! Each worker owns a private model replica (clone-per-worker: the
+//! [`Network`] forward paths take `&mut self` because they cache
+//! activations, so replicas are never shared mutably across threads; see
+//! `antidote_models::Network`'s threading notes). Workers coalesce
+//! requests into micro-batches: the batch window opens when the first
+//! request is popped and closes after `max_wait` or when `max_batch`
+//! requests have been collected, whichever is first. Waiting overlaps
+//! with other workers' compute, which is why multiple workers raise
+//! throughput even on a single core.
+
+use crate::batch::MixedBatchPruner;
+use crate::budget::{BudgetError, BudgetMapper, BudgetPlan};
+use crate::metrics::{MetricsState, ServeMetrics};
+use crate::queue::{BoundedQueue, Popped, PushError};
+use antidote_core::report::FailureRecord;
+use antidote_core::PruneSchedule;
+use antidote_models::Network;
+use antidote_nn::masked::MacCounter;
+use antidote_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Builds one model replica per worker. Called with the worker index;
+/// every call must return an *identical* network (same weights) so that
+/// responses do not depend on which worker served the request. Freeze
+/// trained parameters by capturing an `Arc` snapshot and restoring it
+/// into each freshly built replica.
+pub type ModelFactory = Arc<dyn Fn(usize) -> Box<dyn Network> + Send + Sync>;
+
+/// Engine configuration. Environment overrides use the
+/// `ANTIDOTE_SERVE_*` knobs (see [`ServeConfig::from_env`]), consistent
+/// with the repo-wide `ANTIDOTE_*` convention.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (model replicas).
+    pub workers: usize,
+    /// Maximum requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Batch window: how long a worker waits for the batch to fill after
+    /// popping its first request.
+    pub max_wait: Duration,
+    /// Bounded queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// The most aggressive pruning schedule budgets may scale up to.
+    pub base_schedule: PruneSchedule,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(5),
+            base_schedule: PruneSchedule::none(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads overrides from the environment on top of the defaults:
+    ///
+    /// - `ANTIDOTE_SERVE_WORKERS` — worker threads;
+    /// - `ANTIDOTE_SERVE_MAX_BATCH` — batch size ceiling;
+    /// - `ANTIDOTE_SERVE_MAX_WAIT_MS` — batch window, milliseconds;
+    /// - `ANTIDOTE_SERVE_QUEUE_CAP` — queue capacity;
+    /// - `ANTIDOTE_SERVE_DEADLINE_MS` — default request deadline, ms.
+    ///
+    /// Unparseable or zero values are ignored with a warning on stderr,
+    /// keeping the defaults (matching `WorkloadRunOptions::from_env`).
+    pub fn from_env() -> Self {
+        Self::default().with_env_overrides()
+    }
+
+    /// Applies the `ANTIDOTE_SERVE_*` environment overrides (see
+    /// [`ServeConfig::from_env`]) on top of `self`, so binaries can set
+    /// their own defaults while staying operator-tunable.
+    pub fn with_env_overrides(mut self) -> Self {
+        fn positive(key: &str) -> Option<u64> {
+            let raw = std::env::var(key).ok()?;
+            match raw.parse::<u64>() {
+                Ok(v) if v > 0 => Some(v),
+                _ => {
+                    eprintln!("warning: ignoring {key}={raw}: must be a positive integer");
+                    None
+                }
+            }
+        }
+        if let Some(v) = positive("ANTIDOTE_SERVE_WORKERS") {
+            self.workers = v as usize;
+        }
+        if let Some(v) = positive("ANTIDOTE_SERVE_MAX_BATCH") {
+            self.max_batch = v as usize;
+        }
+        if let Some(v) = positive("ANTIDOTE_SERVE_MAX_WAIT_MS") {
+            self.max_wait = Duration::from_millis(v);
+        }
+        if let Some(v) = positive("ANTIDOTE_SERVE_QUEUE_CAP") {
+            self.queue_capacity = v as usize;
+        }
+        if let Some(v) = positive("ANTIDOTE_SERVE_DEADLINE_MS") {
+            self.default_deadline = Duration::from_millis(v);
+        }
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.workers == 0 {
+            return Err(ServeConfigError::ZeroWorkers);
+        }
+        if self.max_batch == 0 {
+            return Err(ServeConfigError::ZeroBatch);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeConfigError::ZeroCapacity);
+        }
+        Ok(())
+    }
+}
+
+/// Rejected engine configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `workers` must be ≥ 1.
+    ZeroWorkers,
+    /// `max_batch` must be ≥ 1.
+    ZeroBatch,
+    /// `queue_capacity` must be ≥ 1.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroWorkers => write!(f, "engine needs at least one worker"),
+            ServeConfigError::ZeroBatch => write!(f, "max_batch must be at least 1"),
+            ServeConfigError::ZeroCapacity => write!(f, "queue capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Fault injection for exercising the engine's failure paths (testing
+/// knobs, mirroring the `ANTIDOTE_INJECT_*` convention of the training
+/// harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the worker while processing this request's batch.
+    Panic,
+    /// Stall the worker for this many milliseconds before the forward
+    /// pass (simulates a slow batch for deadline/backpressure tests).
+    SleepMs(u64),
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// The image, shaped `(C, H, W)` or `(1, C, H, W)`.
+    pub input: Tensor,
+    /// Per-request compute budget, MACs per image. `None` runs dense.
+    pub budget: Option<f64>,
+    /// Deadline override; `None` uses the engine default.
+    pub deadline: Option<Duration>,
+    /// Fault injection (testing knob; `None` in production).
+    pub fault: Option<Fault>,
+}
+
+impl InferRequest {
+    /// A dense (no budget) request with the default deadline.
+    pub fn new(input: Tensor) -> Self {
+        Self {
+            input,
+            budget: None,
+            deadline: None,
+            fault: None,
+        }
+    }
+
+    /// Sets the compute budget in MACs per image.
+    pub fn with_budget(mut self, macs: f64) -> Self {
+        self.budget = Some(macs);
+        self
+    }
+
+    /// Sets a per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Raw class logits.
+    pub logits: Vec<f32>,
+    /// `argmax` of the logits.
+    pub class: usize,
+    /// The request's budget, if any (MACs).
+    pub budget: Option<f64>,
+    /// Cost the budget planner predicted for this request (MACs).
+    pub scheduled_macs: f64,
+    /// Cost realized by the masks actually emitted, charged under the
+    /// analytic model (MACs). Never exceeds `budget` when one was set.
+    pub achieved_macs: f64,
+    /// Prune-ratio scale the planner chose (0 = dense).
+    pub schedule_scale: f64,
+    /// How many live requests shared this request's forward pass.
+    pub batch_size: usize,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+    /// Time from submission to batch launch.
+    pub queue_wait: Duration,
+    /// Time from submission to response.
+    pub latency: Duration,
+}
+
+/// Typed terminal failures. Every submitted request ends in exactly one
+/// [`InferResponse`] or one of these — the engine never drops a request
+/// silently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission rejected: the bounded queue is at capacity.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// Admission rejected: the budget is invalid or below the schedule
+    /// floor.
+    Budget(BudgetError),
+    /// Admission rejected: the input tensor is not a single `(C, H, W)`
+    /// image.
+    BadInput {
+        /// The offending tensor dimensions.
+        dims: Vec<usize>,
+    },
+    /// The deadline passed while the request was queued or batching.
+    DeadlineExpired {
+        /// How long the request had been waiting when it was dropped.
+        waited: Duration,
+    },
+    /// The worker processing this request's batch panicked. The engine
+    /// replaced the worker's replica and kept serving.
+    WorkerPanicked {
+        /// Index of the worker that panicked.
+        worker: usize,
+    },
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The response channel was severed without a response (should not
+    /// happen; indicates an engine bug).
+    Disconnected,
+}
+
+impl ServeError {
+    /// Short stage label, mirroring
+    /// [`antidote_core::report::FailureRecord`] stages.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "admission-queue",
+            ServeError::Budget(_) => "admission-budget",
+            ServeError::BadInput { .. } => "admission-input",
+            ServeError::DeadlineExpired { .. } => "deadline",
+            ServeError::WorkerPanicked { .. } => "worker-panic",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::Disconnected => "disconnect",
+        }
+    }
+
+    /// Converts the error into a [`FailureRecord`] row so serving
+    /// failures can be reported alongside experiment failures.
+    pub fn failure_record(&self, workload: &str) -> FailureRecord {
+        FailureRecord {
+            workload: workload.to_string(),
+            stage: self.stage().to_string(),
+            error: self.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity}); request rejected")
+            }
+            ServeError::Budget(e) => write!(f, "budget rejected: {e}"),
+            ServeError::BadInput { dims } => {
+                write!(f, "input must be one (C,H,W) image, got shape {dims:?}")
+            }
+            ServeError::DeadlineExpired { waited } => {
+                write!(f, "deadline expired after waiting {waited:?}")
+            }
+            ServeError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked while serving this batch")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Disconnected => write!(f, "response channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BudgetError> for ServeError {
+    fn from(e: BudgetError) -> Self {
+        ServeError::Budget(e)
+    }
+}
+
+/// The engine's view of one admitted request.
+struct Ticket {
+    input: Tensor,
+    budget: Option<f64>,
+    plan: BudgetPlan,
+    fault: Option<Fault>,
+    enqueued_at: Instant,
+    deadline: Instant,
+    tx: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+/// A response that will arrive once a worker serves the request.
+#[derive(Debug)]
+pub struct PendingResponse {
+    rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the request reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// The request's typed [`ServeError`] if it was not served.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferResponse, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Cloneable client handle: submit requests and read metrics from any
+/// thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    queue: Arc<BoundedQueue<Ticket>>,
+    mapper: Arc<BudgetMapper>,
+    metrics: Arc<Mutex<MetricsState>>,
+    default_deadline: Duration,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("queue_depth", &self.queue.len())
+            .finish()
+    }
+}
+
+impl ServeHandle {
+    /// Admits a request: plans its budget, stamps its deadline, and
+    /// enqueues it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Budget`], [`ServeError::BadInput`],
+    /// [`ServeError::QueueFull`], or [`ServeError::ShuttingDown`] — all
+    /// decided synchronously at admission.
+    pub fn submit(&self, req: InferRequest) -> Result<PendingResponse, ServeError> {
+        let plan = self.mapper.plan(req.budget).map_err(|e| {
+            self.metrics.lock().expect("metrics lock").infeasible += 1;
+            ServeError::from(e)
+        })?;
+        let input = normalize_input(req.input)?;
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            input,
+            budget: req.budget,
+            plan,
+            fault: req.fault,
+            enqueued_at: now,
+            deadline: now + req.deadline.unwrap_or(self.default_deadline),
+            tx,
+        };
+        match self.queue.try_push(ticket) {
+            Ok(()) => Ok(PendingResponse { rx }),
+            Err(PushError::Full(_)) => {
+                self.metrics.lock().expect("metrics lock").rejected_full += 1;
+                Err(ServeError::QueueFull {
+                    capacity: self.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Dense (unpruned) cost of one image on the served model, MACs.
+    pub fn dense_macs(&self) -> f64 {
+        self.mapper.dense_macs()
+    }
+
+    /// Cheapest feasible per-image cost under the base schedule, MACs.
+    pub fn floor_macs(&self) -> f64 {
+        self.mapper.floor_macs()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .snapshot(self.queue.len())
+    }
+}
+
+/// Reshapes `(C,H,W)` to `(1,C,H,W)` and validates rank.
+fn normalize_input(input: Tensor) -> Result<Tensor, ServeError> {
+    let dims = input.dims().to_vec();
+    match dims.len() {
+        3 => {
+            let target = [1, dims[0], dims[1], dims[2]];
+            input
+                .reshape(&target)
+                .map_err(|_| ServeError::BadInput { dims })
+        }
+        4 if dims[0] == 1 => Ok(input),
+        _ => Err(ServeError::BadInput { dims }),
+    }
+}
+
+/// The running engine: owns the worker threads.
+pub struct ServeEngine {
+    handle: ServeHandle,
+    queue: Arc<BoundedQueue<Ticket>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.queue.len())
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Starts the worker pool. `factory` is called once per worker to
+    /// build its private replica (worker 0's replica is also probed for
+    /// the model's conv shapes and taps, which parameterize the budget
+    /// mapper).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeConfigError`] for zero-sized workers/batch/queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory's model disagrees with its own conv-shape
+    /// description (see [`BudgetMapper::new`]) or if a worker thread
+    /// cannot be spawned.
+    pub fn start(cfg: ServeConfig, factory: ModelFactory) -> Result<Self, ServeConfigError> {
+        cfg.validate()?;
+        let probe = factory(0);
+        let mapper = Arc::new(BudgetMapper::new(
+            probe.conv_shapes(),
+            probe.taps(),
+            cfg.base_schedule.clone(),
+        ));
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(Mutex::new(MetricsState::new(cfg.max_batch)));
+        let mut replicas = vec![probe];
+        for w in 1..cfg.workers {
+            replicas.push(factory(w));
+        }
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(id, replica)| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let mapper = Arc::clone(&mapper);
+                let factory = Arc::clone(&factory);
+                let max_batch = cfg.max_batch;
+                let max_wait = cfg.max_wait;
+                std::thread::Builder::new()
+                    .name(format!("antidote-serve-{id}"))
+                    .spawn(move || {
+                        worker_loop(id, replica, factory, queue, metrics, mapper, max_batch, max_wait)
+                    })
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        let handle = ServeHandle {
+            queue: Arc::clone(&queue),
+            mapper,
+            metrics,
+            default_deadline: cfg.default_deadline,
+        };
+        Ok(Self {
+            handle,
+            queue,
+            workers,
+        })
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.handle.metrics()
+    }
+
+    /// Graceful shutdown: stops admission, drains the queue, joins the
+    /// workers, and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.handle.metrics()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One worker: pop → coalesce → (maybe) fail injected faults → forward →
+/// respond. Panics are contained per batch; the replica is rebuilt from
+/// the factory afterwards so later batches never see a half-updated
+/// model.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    id: usize,
+    mut model: Box<dyn Network>,
+    factory: ModelFactory,
+    queue: Arc<BoundedQueue<Ticket>>,
+    metrics: Arc<Mutex<MetricsState>>,
+    mapper: Arc<BudgetMapper>,
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    loop {
+        let first = match queue.pop_blocking() {
+            Popped::Item(t) => t,
+            Popped::Closed => return,
+            Popped::TimedOut => continue,
+        };
+        // The batch window opens with the first request and closes after
+        // max_wait or once the batch is full.
+        let window_end = Instant::now() + max_wait;
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match queue.pop_until(window_end) {
+                Popped::Item(t) => batch.push(t),
+                Popped::TimedOut | Popped::Closed => break,
+            }
+        }
+        let launched_at = Instant::now();
+        let (live, expired): (Vec<Ticket>, Vec<Ticket>) =
+            batch.into_iter().partition(|t| t.deadline >= launched_at);
+        {
+            let mut m = metrics.lock().expect("metrics lock");
+            m.expired += expired.len() as u64;
+            m.record_batch(live.len());
+        }
+        for t in expired {
+            let waited = launched_at.duration_since(t.enqueued_at);
+            let _ = t.tx.send(Err(ServeError::DeadlineExpired { waited }));
+        }
+        if live.is_empty() {
+            continue; // zero-size batch: nothing left to run
+        }
+
+        let inputs: Vec<&Tensor> = live.iter().map(|t| &t.input).collect();
+        let schedules: Vec<PruneSchedule> =
+            live.iter().map(|t| t.plan.schedule.clone()).collect();
+        let inject_panic = live.iter().any(|t| matches!(t.fault, Some(Fault::Panic)));
+        let stall_ms: u64 = live
+            .iter()
+            .filter_map(|t| match t.fault {
+                Some(Fault::SleepMs(ms)) => Some(ms),
+                _ => None,
+            })
+            .sum();
+        let tap_count = mapper.tap_count();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if stall_ms > 0 {
+                std::thread::sleep(Duration::from_millis(stall_ms));
+            }
+            assert!(!inject_panic, "injected worker fault");
+            let batch_input =
+                Tensor::concat0(&inputs).expect("admitted inputs share one shape");
+            let mut hook = MixedBatchPruner::new(schedules, tap_count);
+            let mut counter = MacCounter::new();
+            let logits = model.forward_measured(&batch_input, &mut hook, &mut counter);
+            (logits, hook.into_fractions(), counter.total())
+        }));
+
+        match outcome {
+            Ok((logits, fractions, measured_macs)) => {
+                let now = Instant::now();
+                let n = live.len();
+                let mut m = metrics.lock().expect("metrics lock");
+                m.measured_macs_total += measured_macs;
+                for (i, t) in live.into_iter().enumerate() {
+                    let item = logits.batch_item(i);
+                    let achieved = mapper.macs_from_fractions(&fractions[i]);
+                    let latency = now.duration_since(t.enqueued_at);
+                    let queue_wait = launched_at.duration_since(t.enqueued_at);
+                    m.record_completion(latency, queue_wait, achieved, t.budget);
+                    let response = InferResponse {
+                        class: item.argmax(),
+                        logits: item.into_vec(),
+                        budget: t.budget,
+                        scheduled_macs: t.plan.predicted_macs,
+                        achieved_macs: achieved,
+                        schedule_scale: t.plan.scale,
+                        batch_size: n,
+                        worker: id,
+                        queue_wait,
+                        latency,
+                    };
+                    let _ = t.tx.send(Ok(response));
+                }
+            }
+            Err(_) => {
+                {
+                    let mut m = metrics.lock().expect("metrics lock");
+                    m.worker_panics += 1;
+                    m.panicked += live.len() as u64;
+                }
+                for t in live {
+                    let _ = t.tx.send(Err(ServeError::WorkerPanicked { worker: id }));
+                }
+                // The old replica may hold half-written caches; rebuild.
+                model = factory(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(ServeConfig { workers: 0, ..ServeConfig::default() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig { max_batch: 0, ..ServeConfig::default() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig { queue_capacity: 0, ..ServeConfig::default() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default().validate().is_ok());
+        assert_eq!(
+            ServeConfigError::ZeroWorkers.to_string(),
+            "engine needs at least one worker"
+        );
+    }
+
+    #[test]
+    fn normalize_input_accepts_chw_and_1chw() {
+        assert_eq!(
+            normalize_input(Tensor::zeros([3, 8, 8])).unwrap().dims(),
+            &[1, 3, 8, 8]
+        );
+        assert_eq!(
+            normalize_input(Tensor::zeros([1, 3, 8, 8])).unwrap().dims(),
+            &[1, 3, 8, 8]
+        );
+        assert!(matches!(
+            normalize_input(Tensor::zeros([2, 3, 8, 8])),
+            Err(ServeError::BadInput { .. })
+        ));
+        assert!(matches!(
+            normalize_input(Tensor::zeros([8, 8])),
+            Err(ServeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn error_stages_and_failure_records() {
+        let e = ServeError::DeadlineExpired {
+            waited: Duration::from_millis(7),
+        };
+        assert_eq!(e.stage(), "deadline");
+        let rec = e.failure_record("serve_bench");
+        assert_eq!(rec.stage, "deadline");
+        assert!(rec.error.contains("deadline expired"));
+        assert_eq!(
+            ServeError::QueueFull { capacity: 4 }.stage(),
+            "admission-queue"
+        );
+        assert_eq!(
+            ServeError::Budget(BudgetError::Invalid { budget: -1.0 }).stage(),
+            "admission-budget"
+        );
+        assert_eq!(ServeError::WorkerPanicked { worker: 3 }.stage(), "worker-panic");
+    }
+}

@@ -1,0 +1,76 @@
+//! # antidote-serve
+//!
+//! A multi-threaded, batched inference engine that exercises AntiDote's
+//! per-input dynamic pruning (Eqs. 1–4) under concurrent,
+//! latency-sensitive load — the serving half of the paper's
+//! runtime-efficiency story.
+//!
+//! Pipeline (`DESIGN.md` §8):
+//!
+//! 1. **Admission** ([`ServeHandle::submit`]): each request may carry a
+//!    FLOPs budget; the [`budget::BudgetMapper`] resolves it to the
+//!    least aggressive scaling of the operator's base [`PruneSchedule`]
+//!    that fits, or rejects it with a typed error.
+//! 2. **Bounded queue** ([`queue::BoundedQueue`]): backpressure instead
+//!    of unbounded growth; per-request deadlines expire while queued.
+//! 3. **Micro-batcher + worker pool** ([`ServeEngine`]): `N`
+//!    `std::thread` workers, each owning a private model replica, pop
+//!    requests and coalesce them up to `max_batch`/`max_wait`, then run
+//!    one masked forward pass with per-item schedules
+//!    ([`batch::MixedBatchPruner`]).
+//! 4. **Observability** ([`metrics::ServeMetrics`]): throughput,
+//!    latency/queue-wait percentiles, batch-size histogram, achieved
+//!    FLOPs vs budget — serializable to JSON.
+//!
+//! Std-only by design: the build environment vendors its dependencies
+//! offline, so there is no async runtime — concurrency is
+//! `std::thread` + `Mutex`/`Condvar` channels throughout.
+//!
+//! # Example
+//!
+//! ```
+//! use antidote_serve::{InferRequest, ModelFactory, ServeConfig, ServeEngine};
+//! use antidote_core::PruneSchedule;
+//! use antidote_models::{Vgg, VggConfig};
+//! use antidote_tensor::Tensor;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! let factory: ModelFactory = Arc::new(|_worker| {
+//!     // Same seed for every worker: replicas must be identical.
+//!     let mut rng = SmallRng::seed_from_u64(7);
+//!     Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3)))
+//! });
+//! let cfg = ServeConfig {
+//!     workers: 1,
+//!     base_schedule: PruneSchedule::channel_only(vec![0.8, 0.8]),
+//!     ..ServeConfig::default()
+//! };
+//! let engine = ServeEngine::start(cfg, factory).unwrap();
+//! let handle = engine.handle();
+//! let budget = handle.dense_macs() * 0.8; // spend at most 80% of dense
+//! let pending = handle
+//!     .submit(InferRequest::new(Tensor::zeros([3, 8, 8])).with_budget(budget))
+//!     .unwrap();
+//! let response = pending.wait().unwrap();
+//! assert!(response.achieved_macs <= budget);
+//! let metrics = engine.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod budget;
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+
+pub use batch::MixedBatchPruner;
+pub use budget::{BudgetError, BudgetMapper, BudgetPlan};
+pub use engine::{
+    Fault, InferRequest, InferResponse, ModelFactory, PendingResponse, ServeConfig,
+    ServeConfigError, ServeEngine, ServeError, ServeHandle,
+};
+pub use metrics::{percentile, LatencySummary, ServeMetrics};

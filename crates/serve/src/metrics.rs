@@ -1,0 +1,333 @@
+//! Serving observability: latency percentiles, batch-size histograms,
+//! budget-utilization accounting, and a JSON-serializable snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Nearest-rank percentile of an ascending-sorted sample slice.
+///
+/// `q` is in percent (`50.0` = median). Empty input returns `0.0`; `q`
+/// outside `[0, 100]` is clamped. This is the single percentile
+/// implementation shared by [`ServeMetrics`] and the experiment harness
+/// (`antidote-bench`).
+///
+/// # Examples
+///
+/// ```
+/// use antidote_serve::metrics::percentile;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&sorted, 50.0), 2.0);
+/// assert_eq!(percentile(&sorted, 99.0), 4.0);
+/// assert_eq!(percentile(&sorted, 0.0), 1.0);
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Summary statistics of a latency sample (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean, ms.
+    pub mean_ms: f64,
+    /// Median (nearest-rank p50), ms.
+    pub p50_ms: f64,
+    /// Nearest-rank p95, ms.
+    pub p95_ms: f64,
+    /// Nearest-rank p99, ms.
+    pub p99_ms: f64,
+    /// Maximum observed, ms.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from unsorted millisecond samples.
+    pub fn from_samples_ms(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        Self {
+            count: sorted.len() as u64,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Builds a summary from wall-clock durations.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        Self::from_samples_ms(&ms)
+    }
+}
+
+/// Per-request compute-budget accounting across a serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BudgetMetrics {
+    /// Completed requests that carried an explicit FLOPs budget.
+    pub budgeted_requests: u64,
+    /// Mean achieved/budget utilization over budgeted requests (≤ 1.0 by
+    /// construction of the budget→ratio mapping).
+    pub mean_utilization: f64,
+    /// Worst-case (highest) achieved/budget utilization observed.
+    pub max_utilization: f64,
+    /// Sum of achieved MACs over all completed requests (analytic cost
+    /// model applied to the masks actually generated).
+    pub achieved_macs_total: f64,
+    /// Sum of MACs the masked executor actually performed, over all
+    /// batches (aggregate; bounded above by `achieved_macs_total` for
+    /// stride-1 convolutions since border windows skip out-of-bounds
+    /// taps).
+    pub measured_macs_total: u64,
+}
+
+/// A point-in-time snapshot of everything the engine measures.
+///
+/// Serializes to JSON via [`ServeMetrics::to_json`] for the
+/// `serve_bench` report.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_full: u64,
+    /// Requests whose deadline expired while queued/batching.
+    pub expired: u64,
+    /// Requests rejected because their budget was below the floor of the
+    /// most aggressive allowed schedule.
+    pub infeasible: u64,
+    /// Requests failed by a worker panic (typed error, engine survives).
+    pub panicked: u64,
+    /// Worker panics observed (one panic can fail a whole batch).
+    pub worker_panics: u64,
+    /// Completed requests per second of engine uptime.
+    pub throughput_rps: f64,
+    /// End-to-end latency (submit → response), ms.
+    pub latency: LatencySummary,
+    /// Queueing + batching delay (submit → batch launch), ms.
+    pub queue_wait: LatencySummary,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// `batch_histogram[k]` counts batches executed with `k` live
+    /// requests (index 0 counts batches that expired whole).
+    pub batch_histogram: Vec<u64>,
+    /// Batches executed (including empty ones).
+    pub batches: u64,
+    /// Mean live batch size over non-empty batches.
+    pub mean_batch_size: f64,
+    /// Budget accounting.
+    pub budget: BudgetMetrics,
+    /// Engine uptime covered by this snapshot, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl ServeMetrics {
+    /// Serializes the snapshot to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the type contains no non-serializable
+    /// values.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialization cannot fail")
+    }
+
+    /// Parses a snapshot back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Requests that received *some* terminal outcome (completion or a
+    /// typed failure).
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.expired + self.panicked
+    }
+}
+
+/// Mutable accumulator behind the engine's metrics mutex. Workers record
+/// into this; [`MetricsState::snapshot`] freezes it into a
+/// [`ServeMetrics`].
+#[derive(Debug)]
+pub(crate) struct MetricsState {
+    pub completed: u64,
+    pub rejected_full: u64,
+    pub expired: u64,
+    pub infeasible: u64,
+    pub panicked: u64,
+    pub worker_panics: u64,
+    pub latencies_ms: Vec<f64>,
+    pub queue_waits_ms: Vec<f64>,
+    pub batch_histogram: Vec<u64>,
+    pub batches: u64,
+    pub budgeted_requests: u64,
+    pub utilization_sum: f64,
+    pub utilization_max: f64,
+    pub achieved_macs_total: f64,
+    pub measured_macs_total: u64,
+    started_at: Instant,
+}
+
+impl MetricsState {
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            completed: 0,
+            rejected_full: 0,
+            expired: 0,
+            infeasible: 0,
+            panicked: 0,
+            worker_panics: 0,
+            latencies_ms: Vec::new(),
+            queue_waits_ms: Vec::new(),
+            batch_histogram: vec![0; max_batch + 1],
+            batches: 0,
+            budgeted_requests: 0,
+            utilization_sum: 0.0,
+            utilization_max: 0.0,
+            achieved_macs_total: 0.0,
+            measured_macs_total: 0,
+            started_at: Instant::now(),
+        }
+    }
+
+    pub fn record_batch(&mut self, live: usize) {
+        self.batches += 1;
+        if let Some(slot) = self.batch_histogram.get_mut(live) {
+            *slot += 1;
+        }
+    }
+
+    pub fn record_completion(
+        &mut self,
+        latency: Duration,
+        queue_wait: Duration,
+        achieved_macs: f64,
+        budget: Option<f64>,
+    ) {
+        self.completed += 1;
+        self.latencies_ms.push(latency.as_secs_f64() * 1e3);
+        self.queue_waits_ms.push(queue_wait.as_secs_f64() * 1e3);
+        self.achieved_macs_total += achieved_macs;
+        if let Some(b) = budget {
+            let util = achieved_macs / b;
+            self.budgeted_requests += 1;
+            self.utilization_sum += util;
+            self.utilization_max = self.utilization_max.max(util);
+        }
+    }
+
+    pub fn snapshot(&self, queue_depth: usize) -> ServeMetrics {
+        let elapsed = self.started_at.elapsed().as_secs_f64();
+        let live_batches: u64 = self.batch_histogram.iter().skip(1).sum();
+        let live_requests: u64 = self
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        ServeMetrics {
+            completed: self.completed,
+            rejected_full: self.rejected_full,
+            expired: self.expired,
+            infeasible: self.infeasible,
+            panicked: self.panicked,
+            worker_panics: self.worker_panics,
+            throughput_rps: if elapsed > 0.0 {
+                self.completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_samples_ms(&self.latencies_ms),
+            queue_wait: LatencySummary::from_samples_ms(&self.queue_waits_ms),
+            queue_depth,
+            batch_histogram: self.batch_histogram.clone(),
+            batches: self.batches,
+            mean_batch_size: if live_batches > 0 {
+                live_requests as f64 / live_batches as f64
+            } else {
+                0.0
+            },
+            budget: BudgetMetrics {
+                budgeted_requests: self.budgeted_requests,
+                mean_utilization: if self.budgeted_requests > 0 {
+                    self.utilization_sum / self.budgeted_requests as f64
+                } else {
+                    0.0
+                },
+                max_utilization: self.utilization_max,
+                achieved_macs_total: self.achieved_macs_total,
+                measured_macs_total: self.measured_macs_total,
+            },
+            elapsed_secs: elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 95.0), 95.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 200.0), 3.0);
+    }
+
+    #[test]
+    fn summary_from_samples() {
+        let s = LatencySummary::from_samples_ms(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean_ms - 2.5).abs() < 1e-12);
+        assert_eq!(s.p50_ms, 2.0);
+        assert_eq!(s.p99_ms, 4.0);
+        assert_eq!(s.max_ms, 4.0);
+        assert_eq!(LatencySummary::from_samples_ms(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn state_snapshot_and_json_round_trip() {
+        let mut st = MetricsState::new(4);
+        st.record_batch(3);
+        st.record_batch(0);
+        for _ in 0..3 {
+            st.record_completion(
+                Duration::from_millis(10),
+                Duration::from_millis(2),
+                50.0,
+                Some(100.0),
+            );
+        }
+        st.measured_macs_total = 120;
+        let snap = st.snapshot(1);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_histogram, vec![1, 0, 0, 1, 0]);
+        assert!((snap.mean_batch_size - 3.0).abs() < 1e-12);
+        assert!((snap.budget.mean_utilization - 0.5).abs() < 1e-12);
+        assert!((snap.budget.max_utilization - 0.5).abs() < 1e-12);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.resolved(), 3);
+        let back = ServeMetrics::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -6,3 +6,6 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Serving-path regression gate: deterministic closed-loop load; fails on
+# any dropped request, unexpected error, or budget overshoot.
+cargo run --release -p antidote-bench --bin serve_bench -- --smoke
