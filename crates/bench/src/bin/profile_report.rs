@@ -1,0 +1,159 @@
+//! Per-layer profiling report for the masked executor.
+//!
+//! Usage: `cargo run -p antidote-bench --bin profile_report --release`
+//!
+//! Default mode runs a seeded ResNet56/CIFAR-10 smoke evaluation through
+//! the masked executor with observability enabled, then renders the
+//! per-layer profile: wall-clock time share (from the `fwd.layerNN`
+//! spans), analytically attributed MACs share, measured MACs, and
+//! input-side keep rates. The full row set is also printed as JSON. The
+//! binary self-checks its output — time% and MACs% must each sum to
+//! 100±0.1 and the attributed per-layer MACs must equal
+//! `antidote_core::flops::analytic_flops` exactly — and exits non-zero
+//! on violation, so CI can use it as a profiling regression gate.
+//!
+//! `--overhead-smoke` instead times dense forwards with observability
+//! disabled vs enabled and fails if the enabled/disabled ratio exceeds a
+//! generous noise bound — the "off by default, near-zero cost disabled"
+//! guarantee of `antidote-obs` (DESIGN.md §9).
+//!
+//! Knobs: `ANTIDOTE_TRACE`/`ANTIDOTE_LOG` (see `antidote-obs`);
+//! `ANTIDOTE_SCALE` selects the workload scale as elsewhere.
+
+use antidote_bench::{ModelKind, ReproWorkload, Scale};
+use antidote_core::flops::analytic_flops;
+use antidote_core::profile::{profile_rows, render_table};
+use antidote_core::settings::{proposed_settings, Workload};
+use antidote_core::trainer::evaluate_measured;
+use antidote_core::DynamicPruner;
+use antidote_models::Network;
+use antidote_tensor::Tensor;
+use std::time::Instant;
+
+/// Enabled/disabled wall-time ratio allowed by `--overhead-smoke`.
+/// Deliberately loose: per-layer spans cost nanoseconds against
+/// milliseconds of conv work, but CI machines are noisy.
+const OVERHEAD_BOUND: f64 = 1.5;
+
+fn main() {
+    antidote_obs::init_from_env();
+    if std::env::args().any(|a| a == "--overhead-smoke") {
+        overhead_smoke();
+        return;
+    }
+    profile_smoke();
+}
+
+/// Default mode: profile a seeded ResNet56/CIFAR-10 smoke evaluation.
+fn profile_smoke() {
+    let scale = Scale::from_env();
+    println!("== AntiDote per-layer profile: ResNet56/CIFAR-10 smoke run (scale {scale:?}) ==\n");
+    let rw = ReproWorkload::for_workload(Workload::ResNet56Cifar10, scale);
+    let data = rw.data.generate();
+    let setting = proposed_settings()
+        .into_iter()
+        .find(|s| s.workload == Workload::ResNet56Cifar10)
+        .expect("resnet56/cifar10 setting exists");
+    let mut net = rw.build_network(0x0B5);
+    let shapes = net.conv_shapes();
+    let mut pruner = DynamicPruner::new(setting.schedule.clone());
+
+    antidote_obs::set_enabled(true);
+    antidote_obs::reset();
+    let (acc, macs_per_image) =
+        evaluate_measured(net.as_mut(), &data.test, &mut pruner, rw.batch_size);
+    let snap = antidote_obs::snapshot();
+    antidote_obs::set_enabled(false);
+
+    let rows = profile_rows(&snap, &shapes, &setting.schedule);
+    println!("accuracy {:.1}% | measured {:.3e} MACs/image\n", acc * 100.0, macs_per_image);
+    print!("{}", render_table(&rows));
+    println!(
+        "\nper-layer JSON:\n{}",
+        serde_json::to_string(&rows).expect("profile rows serialize")
+    );
+
+    // Self-checks: percentage columns close and the attribution agrees
+    // with the analytic FLOPs model exactly.
+    let mut failed = false;
+    let time_sum: f64 = rows.iter().map(|r| r.time_pct).sum();
+    let macs_sum: f64 = rows.iter().map(|r| r.macs_pct).sum();
+    for (label, sum) in [("time%", time_sum), ("macs%", macs_sum)] {
+        if (sum - 100.0).abs() > 0.1 {
+            eprintln!("PROFILE FAIL: {label} column sums to {sum}, want 100±0.1");
+            failed = true;
+        }
+    }
+    let flops = analytic_flops(&shapes, &setting.schedule);
+    for (row, layer) in rows.iter().zip(&flops.per_layer) {
+        if row.attributed_macs != layer.pruned_macs {
+            eprintln!(
+                "PROFILE FAIL: layer {} attributed {} != analytic {}",
+                row.layer, row.attributed_macs, layer.pruned_macs
+            );
+            failed = true;
+        }
+    }
+    let attributed_total: f64 = rows.iter().map(|r| r.attributed_macs).sum();
+    if attributed_total != flops.pruned_macs {
+        eprintln!(
+            "PROFILE FAIL: attributed total {attributed_total} != analytic {}",
+            flops.pruned_macs
+        );
+        failed = true;
+    }
+    if rows.iter().any(|r| r.time_ns == 0) {
+        eprintln!("PROFILE FAIL: some layers recorded no span time");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\nprofile ok: {} layers, time%/macs% sum to 100, attribution exact",
+        rows.len()
+    );
+}
+
+/// Median wall time of `iters` dense forwards on `net`.
+fn median_forward_ms(net: &mut dyn Network, input: &Tensor, iters: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = net.forward(input, antidote_nn::Mode::Eval);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    antidote_obs::percentile(&samples, 50.0)
+}
+
+/// `--overhead-smoke`: dense forwards with observability off vs on must
+/// stay within [`OVERHEAD_BOUND`].
+fn overhead_smoke() {
+    let rw = ReproWorkload::for_workload(Workload::ResNet56Cifar10, Scale::Quick);
+    assert!(matches!(rw.model, ModelKind::ResNetSmall { .. }));
+    let mut net = rw.build_network(0x0B5);
+    let size = rw.data.image_size;
+    let input = Tensor::from_fn([4, 3, size, size], |i| ((i % 17) as f32 - 8.0) / 8.0);
+    let iters = 9;
+    // Warm-up (allocators, caches) before either timed pass.
+    let _ = net.forward(&input, antidote_nn::Mode::Eval);
+
+    antidote_obs::set_enabled(false);
+    let off_ms = median_forward_ms(net.as_mut(), &input, iters);
+    antidote_obs::set_enabled(true);
+    antidote_obs::reset();
+    let on_ms = median_forward_ms(net.as_mut(), &input, iters);
+    antidote_obs::set_enabled(false);
+
+    let ratio = on_ms / off_ms.max(1e-9);
+    println!(
+        "overhead smoke: obs-off median {off_ms:.3} ms | obs-on median {on_ms:.3} ms | ratio {ratio:.3}"
+    );
+    if ratio > OVERHEAD_BOUND {
+        eprintln!("OVERHEAD FAIL: enabled/disabled ratio {ratio:.3} exceeds {OVERHEAD_BOUND}");
+        std::process::exit(1);
+    }
+    println!("overhead ok: ratio {ratio:.3} within bound {OVERHEAD_BOUND}");
+}

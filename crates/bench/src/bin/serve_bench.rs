@@ -49,15 +49,7 @@ fn factory(seed: u64) -> ModelFactory {
     })
 }
 
-fn parse_env<T: std::str::FromStr>(key: &str, default: T) -> T {
-    match std::env::var(key) {
-        Ok(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("warning: ignoring unparseable {key}={raw}");
-            default
-        }),
-        Err(_) => default,
-    }
-}
+use antidote_obs::env::parse_or as parse_env;
 
 #[derive(Clone, Copy)]
 struct LoadSpec {
@@ -160,6 +152,7 @@ fn print_summary(label: &str, out: &LoadOutcome) {
 }
 
 fn main() {
+    antidote_obs::init_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let spec = LoadSpec {
         clients: parse_env("ANTIDOTE_SERVE_BENCH_CLIENTS", 3usize),

@@ -22,6 +22,7 @@ use antidote_core::{train_ttd, train_ttd_with_options, DynamicPruner, RunOptions
 use antidote_models::NoopHook;
 
 fn main() {
+    antidote_obs::init_from_env();
     let scale = Scale::from_env();
     println!("== AntiDote reproduction: TTD ratio ascent (Sec. IV-B, scale {scale:?}) ==\n");
     let workload = Workload::Vgg16Cifar10;
@@ -49,13 +50,8 @@ fn main() {
     let run_opts = RunOptions {
         resume_from: std::env::var("ANTIDOTE_RESUME").ok().map(Into::into),
         checkpoint_to: std::env::var("ANTIDOTE_CKPT").ok().map(Into::into),
-        checkpoint_every: std::env::var("ANTIDOTE_CKPT_EVERY")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0),
-        stop_after_epochs: std::env::var("ANTIDOTE_STOP_AFTER")
-            .ok()
-            .and_then(|v| v.parse().ok()),
+        checkpoint_every: antidote_obs::env::parse_or("ANTIDOTE_CKPT_EVERY", 0),
+        stop_after_epochs: antidote_obs::env::parse("ANTIDOTE_STOP_AFTER"),
         ..RunOptions::default()
     };
     let mut ttd = rw.build_network(0x77D);

@@ -75,22 +75,18 @@ impl WorkloadRunOptions {
     ///
     /// Values that fail to parse — including non-positive or non-finite
     /// `ANTIDOTE_LR_BACKOFF` / `ANTIDOTE_GRAD_CLIP` — are ignored with a
-    /// warning on stderr, keeping the defaults.
+    /// warning, keeping the defaults (the shared warn-and-ignore
+    /// convention of [`antidote_obs::env`]).
     pub fn from_env() -> Self {
-        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-            let raw = std::env::var(key).ok()?;
-            let parsed = raw.parse().ok();
-            if parsed.is_none() {
-                eprintln!("warning: ignoring unparseable {key}={raw}");
-            }
-            parsed
-        }
+        use antidote_obs::env::parse;
         fn positive(key: &str) -> Option<f32> {
-            let f: f32 = parse(key)?;
-            if f.is_finite() && f > 0.0 {
+            // `env::positive` admits +inf (it only checks `> 0`); the
+            // recovery supervisor asserts finiteness, so reject it here.
+            let f = antidote_obs::env::positive::<f32>(key)?;
+            if f.is_finite() {
                 Some(f)
             } else {
-                eprintln!("warning: ignoring {key}={f}: must be positive and finite");
+                antidote_obs::env::warn_ignored(key, &f.to_string(), "must be finite");
                 None
             }
         }

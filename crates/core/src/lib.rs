@@ -14,6 +14,8 @@
 //!   (Sec. IV);
 //! - [`flops`]: analytic FLOPs accounting that reproduces the Table I
 //!   FLOPs columns arithmetically, with a measured-MAC cross-check path;
+//! - [`profile`]: per-layer MAC attribution joined with `antidote-obs`
+//!   span timings (the `profile_report` backend);
 //! - [`analysis`]: the Fig. 2 criterion comparison and Fig. 3 block
 //!   sensitivity sweeps;
 //! - [`settings`]: the exact pruning schedules quoted in Sec. V;
@@ -45,6 +47,7 @@ pub mod attention;
 pub mod checkpoint;
 pub mod flops;
 pub mod mask;
+pub mod profile;
 mod pruner;
 pub mod recovery;
 pub mod report;

@@ -1,0 +1,264 @@
+//! Per-layer profile attribution: joins observability snapshots against
+//! the analytic FLOPs model.
+//!
+//! The measured forward paths tag every conv in
+//! [`antidote_models::Network::conv_shapes`] order with a span
+//! `fwd.layerNN` and a counter `fwd.layerNN.macs` (see
+//! `antidote-models`). This module re-derives the analytic per-layer MAC
+//! attribution *independently* of [`crate::flops::analytic_flops`] —
+//! same crediting rule, separate code — so the attribution property
+//! tests meaningfully cross-check that the profiler's per-layer MACs sum
+//! exactly to the analytic totals, and [`profile_rows`] merges both with
+//! span timings into the table `profile_report` renders.
+
+use crate::pruner::PruneSchedule;
+use antidote_models::ConvShape;
+use antidote_obs::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Analytic MACs credited to one conv layer under a schedule — the
+/// profiler's attribution view of [`crate::flops::LayerFlops`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerAttribution {
+    /// Layer index in forward order (matches `conv_shapes`).
+    pub layer: usize,
+    /// Block/group of the layer.
+    pub block: usize,
+    /// Dense MACs of the layer.
+    pub dense_macs: u64,
+    /// Input-side channel keep fraction credited to this layer.
+    pub channel_keep_in: f64,
+    /// Input-side spatial keep fraction credited to this layer.
+    pub spatial_keep_in: f64,
+    /// MACs attributed under the schedule:
+    /// `dense · channel_keep_in · spatial_keep_in`.
+    pub attributed_macs: f64,
+}
+
+/// Attributes analytic MACs to each conv layer under `schedule`.
+///
+/// Crediting rule (identical to [`crate::flops::analytic_flops`], stated
+/// independently): layer `l`'s input keep fractions are the schedule's
+/// keep fractions of layer `l-1`'s block when that layer's output is
+/// prunable (has a tap), and `1.0` otherwise; the first layer reads the
+/// raw image and is never reduced. Summing `attributed_macs` in forward
+/// order reproduces `analytic_flops(...).pruned_macs` *exactly* (same
+/// f64 operations in the same order), which the property tests assert.
+pub fn attribute_macs(shapes: &[ConvShape], schedule: &PruneSchedule) -> Vec<LayerAttribution> {
+    let mut rows = Vec::with_capacity(shapes.len());
+    let mut prev: Option<&ConvShape> = None;
+    for (layer, shape) in shapes.iter().enumerate() {
+        let (ck_in, sk_in) = match prev {
+            Some(p) if p.prunable_output => {
+                (schedule.channel_keep(p.block), schedule.spatial_keep(p.block))
+            }
+            _ => (1.0, 1.0),
+        };
+        let dense = shape.macs();
+        rows.push(LayerAttribution {
+            layer,
+            block: shape.block,
+            dense_macs: dense,
+            channel_keep_in: ck_in,
+            spatial_keep_in: sk_in,
+            attributed_macs: dense as f64 * ck_in * sk_in,
+        });
+        prev = Some(shape);
+    }
+    rows
+}
+
+/// One rendered line of the per-layer profile: analytic attribution
+/// joined with the measured timings and MAC counters of a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Layer index in forward order.
+    pub layer: usize,
+    /// Block/group of the layer.
+    pub block: usize,
+    /// Summed wall-clock time of `fwd.layerNN` spans, nanoseconds (0
+    /// when the snapshot has no such span).
+    pub time_ns: u64,
+    /// Share of total per-layer time, percent (rows sum to 100 when any
+    /// time was recorded).
+    pub time_pct: f64,
+    /// Dense MACs of the layer.
+    pub dense_macs: u64,
+    /// Analytically attributed MACs under the schedule.
+    pub attributed_macs: f64,
+    /// Share of total attributed MACs, percent (rows sum to 100).
+    pub macs_pct: f64,
+    /// MACs the masked executor actually performed (`fwd.layerNN.macs`
+    /// counter; 0 when absent). Lower than `attributed_macs` even when
+    /// dense because border windows skip out-of-bounds taps.
+    pub measured_macs: u64,
+    /// Input-side channel keep fraction credited to this layer.
+    pub channel_keep_in: f64,
+    /// Input-side spatial keep fraction credited to this layer.
+    pub spatial_keep_in: f64,
+}
+
+/// Span/counter names the measured forward paths use for layer `idx`.
+fn layer_names(idx: usize) -> (String, String) {
+    (format!("fwd.layer{idx:02}"), format!("fwd.layer{idx:02}.macs"))
+}
+
+/// Builds per-layer profile rows from an observability snapshot.
+///
+/// `shapes`/`schedule` must describe the network and schedule the
+/// profiled run used; rows join on the `fwd.layerNN` naming convention.
+/// `time_pct` is computed over the per-layer span totals and `macs_pct`
+/// over the attributed MACs, so each column sums to 100 (up to f64
+/// rounding) whenever its denominator is non-zero.
+pub fn profile_rows(
+    snapshot: &Snapshot,
+    shapes: &[ConvShape],
+    schedule: &PruneSchedule,
+) -> Vec<ProfileRow> {
+    let attribution = attribute_macs(shapes, schedule);
+    let total_time: u64 = attribution
+        .iter()
+        .map(|a| {
+            let (span, _) = layer_names(a.layer);
+            snapshot.span(&span).map_or(0, |s| s.total_ns)
+        })
+        .sum();
+    let total_macs: f64 = attribution.iter().map(|a| a.attributed_macs).sum();
+    attribution
+        .iter()
+        .map(|a| {
+            let (span, counter) = layer_names(a.layer);
+            let time_ns = snapshot.span(&span).map_or(0, |s| s.total_ns);
+            ProfileRow {
+                layer: a.layer,
+                block: a.block,
+                time_ns,
+                time_pct: if total_time > 0 {
+                    100.0 * time_ns as f64 / total_time as f64
+                } else {
+                    0.0
+                },
+                dense_macs: a.dense_macs,
+                attributed_macs: a.attributed_macs,
+                macs_pct: if total_macs > 0.0 {
+                    100.0 * a.attributed_macs / total_macs
+                } else {
+                    0.0
+                },
+                measured_macs: snapshot.counter(&counter).unwrap_or(0),
+                channel_keep_in: a.channel_keep_in,
+                spatial_keep_in: a.spatial_keep_in,
+            }
+        })
+        .collect()
+}
+
+/// Renders profile rows as a fixed-width text table (the
+/// `profile_report` output).
+pub fn render_table(rows: &[ProfileRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "layer  block    time_ms  time%      macs(analytic)  macs%   ch_keep  sp_keep\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}  {:>5}  {:>9.3}  {:>5.1}  {:>16.0}  {:>5.1}  {:>7.2}  {:>7.2}\n",
+            r.layer,
+            r.block,
+            r.time_ns as f64 / 1e6,
+            r.time_pct,
+            r.attributed_macs,
+            r.macs_pct,
+            r.channel_keep_in,
+            r.spatial_keep_in,
+        ));
+    }
+    let (t, m): (f64, f64) = rows.iter().fold((0.0, 0.0), |(t, m), r| {
+        (t + r.time_pct, m + r.macs_pct)
+    });
+    out.push_str(&format!("total             time%={t:.1}  macs%={m:.1}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flops::analytic_flops;
+    use antidote_models::{ResNetConfig, VggConfig};
+
+    #[test]
+    fn attribution_matches_analytic_per_layer() {
+        let shapes = VggConfig::vgg16(32, 10).conv_shapes();
+        let schedule = PruneSchedule::new(vec![0.2, 0.2, 0.6, 0.9, 0.9], vec![0.1; 5]);
+        let attr = attribute_macs(&shapes, &schedule);
+        let flops = analytic_flops(&shapes, &schedule);
+        assert_eq!(attr.len(), flops.per_layer.len());
+        for (a, f) in attr.iter().zip(&flops.per_layer) {
+            assert_eq!(a.layer, f.layer);
+            assert_eq!(a.dense_macs, f.dense_macs);
+            assert_eq!(a.attributed_macs, f.pruned_macs, "layer {}", a.layer);
+        }
+        let sum: f64 = attr.iter().map(|a| a.attributed_macs).sum();
+        assert_eq!(sum, flops.pruned_macs, "forward-order sums must be exact");
+    }
+
+    #[test]
+    fn resnet_stem_and_even_layers_are_never_reduced() {
+        let shapes = ResNetConfig::resnet56(32, 10).conv_shapes();
+        let schedule = PruneSchedule::new(vec![0.3, 0.3, 0.6], vec![0.6, 0.6, 0.6]);
+        let attr = attribute_macs(&shapes, &schedule);
+        // Stem reads the image; each block's conv1 reads a non-prunable
+        // residual sum, so only conv2 (even index ≥ 2) sees reduction.
+        assert_eq!(attr[0].attributed_macs, attr[0].dense_macs as f64);
+        assert!(attr[1].attributed_macs == attr[1].dense_macs as f64);
+        assert!(attr[2].attributed_macs < attr[2].dense_macs as f64);
+    }
+
+    #[test]
+    fn profile_rows_join_snapshot_and_percentages_sum_to_100() {
+        use antidote_obs::SpanSnapshot;
+        // Synthetic snapshot (fields are public) — no global registry,
+        // so the test cannot race other tests' instrumentation.
+        let shapes = VggConfig::vgg_tiny(8, 2).conv_shapes();
+        let schedule = PruneSchedule::channel_only(vec![0.5, 0.5]);
+        let snap = Snapshot {
+            spans: (0..shapes.len())
+                .map(|i| {
+                    let ns = 1_000_000 * (i as u64 + 1);
+                    SpanSnapshot {
+                        name: format!("fwd.layer{i:02}"),
+                        count: 1,
+                        total_ns: ns,
+                        min_ns: ns,
+                        max_ns: ns,
+                    }
+                })
+                .collect(),
+            counters: (0..shapes.len())
+                .map(|i| (format!("fwd.layer{i:02}.macs"), 1000 + i as u64))
+                .collect(),
+            gauges: vec![],
+            hists: vec![],
+        };
+        let rows = profile_rows(&snap, &shapes, &schedule);
+        assert_eq!(rows.len(), shapes.len());
+        let time_sum: f64 = rows.iter().map(|r| r.time_pct).sum();
+        let macs_sum: f64 = rows.iter().map(|r| r.macs_pct).sum();
+        assert!((time_sum - 100.0).abs() < 0.1, "time% sums to {time_sum}");
+        assert!((macs_sum - 100.0).abs() < 0.1, "macs% sums to {macs_sum}");
+        assert_eq!(rows[0].measured_macs, 1000);
+        assert!(rows.iter().all(|r| r.time_ns > 0));
+        let table = render_table(&rows);
+        assert!(table.contains("time%"));
+        assert!(table.lines().count() == rows.len() + 2);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_zero_time_without_nan() {
+        let shapes = VggConfig::vgg_tiny(8, 2).conv_shapes();
+        let rows = profile_rows(&Snapshot::default(), &shapes, &PruneSchedule::none());
+        assert!(rows.iter().all(|r| r.time_pct == 0.0 && r.time_ns == 0));
+        let macs_sum: f64 = rows.iter().map(|r| r.macs_pct).sum();
+        assert!((macs_sum - 100.0).abs() < 0.1);
+    }
+}

@@ -336,10 +336,16 @@ impl FeatureHook for DynamicPruner {
                 .as_ref()
                 .and_then(|a| self.mask_one(&a.data()[ni * plane..(ni + 1) * plane], sk));
             let mask = FeatureMask { channel, spatial };
+            let (ck_frac, sk_frac) = (mask.channel_keep_fraction(), mask.spatial_keep_fraction());
             let entry = self.stats.per_tap.entry(tap.id.0).or_default();
-            entry.channel_keep_sum += mask.channel_keep_fraction();
-            entry.spatial_keep_sum += mask.spatial_keep_fraction();
+            entry.channel_keep_sum += ck_frac;
+            entry.spatial_keep_sum += sk_frac;
             entry.count += 1;
+            if antidote_obs::enabled() {
+                let id = tap.id.0;
+                antidote_obs::hist_record(&format!("pruner.tap{id:02}.channel_keep"), ck_frac);
+                antidote_obs::hist_record(&format!("pruner.tap{id:02}.spatial_keep"), sk_frac);
+            }
             masks.push(mask);
         }
         Some(masks)

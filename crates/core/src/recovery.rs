@@ -364,6 +364,17 @@ impl Supervisor {
             kind,
             lr_scale: self.lr_scale,
         };
+        if antidote_obs::enabled() {
+            antidote_obs::info(
+                "train.rollback",
+                &[
+                    ("epoch", antidote_obs::Value::U64(epoch as u64)),
+                    ("attempt", antidote_obs::Value::U64(self.retries_used as u64)),
+                    ("kind", antidote_obs::Value::Str(&kind.to_string())),
+                    ("lr_scale", antidote_obs::Value::F64(self.lr_scale as f64)),
+                ],
+            );
+        }
         (event, self.ttd.clone())
     }
 }

@@ -213,6 +213,7 @@ pub fn train_with_options(
             train_acc: acc,
             lr,
         });
+        emit_epoch_event(epoch, loss, acc, lr);
         sup.snapshot(net, &sgd, None);
         epoch += 1;
         ran_this_invocation += 1;
@@ -231,6 +232,26 @@ pub fn train_with_options(
         recovery::save_run_checkpoint(net, state, path)?;
     }
     Ok(history)
+}
+
+/// Structured per-epoch telemetry (`train.epoch`), emitted only when
+/// observability is enabled: with `ANTIDOTE_LOG=info` it reaches
+/// stderr, with `ANTIDOTE_TRACE=path` the JSONL file, and it always
+/// lands in the in-process ring — so `--quiet` runs stay quiet by
+/// default while remaining inspectable.
+pub(crate) fn emit_epoch_event(epoch: usize, loss: f32, acc: f32, lr: f32) {
+    if !antidote_obs::enabled() {
+        return;
+    }
+    antidote_obs::info(
+        "train.epoch",
+        &[
+            ("epoch", antidote_obs::Value::U64(epoch as u64)),
+            ("loss", antidote_obs::Value::F64(loss as f64)),
+            ("acc", antidote_obs::Value::F64(acc as f64)),
+            ("lr", antidote_obs::Value::F64(lr as f64)),
+        ],
+    );
 }
 
 fn train_state(

@@ -312,6 +312,16 @@ pub fn train_ttd_with_options(
             {
                 cap = (cap + ascent.step).min(max_target);
                 epochs_at_cap = 0;
+                if antidote_obs::enabled() {
+                    antidote_obs::info(
+                        "ttd.ascent",
+                        &[
+                            ("epoch", antidote_obs::Value::U64(epoch as u64)),
+                            ("cap", antidote_obs::Value::F64(cap)),
+                            ("target", antidote_obs::Value::F64(max_target)),
+                        ],
+                    );
+                }
             }
             pruner.set_schedule(cfg.target.capped(cap));
         }
@@ -354,6 +364,15 @@ pub fn train_ttd_with_options(
             if let Some(ascent) = &cfg.ascent {
                 cap = (cap - ascent.step).max(ascent.warmup);
                 pruner.set_schedule(cfg.target.capped(cap));
+                if antidote_obs::enabled() {
+                    antidote_obs::info(
+                        "ttd.retreat",
+                        &[
+                            ("epoch", antidote_obs::Value::U64(epoch as u64)),
+                            ("cap", antidote_obs::Value::F64(cap)),
+                        ],
+                    );
+                }
             }
             continue; // retry the same epoch
         }
@@ -363,6 +382,7 @@ pub fn train_ttd_with_options(
             train_acc: acc,
             lr,
         });
+        crate::trainer::emit_epoch_event(epoch, loss, acc, lr);
         epochs_at_cap += 1;
         sup.snapshot(
             net,

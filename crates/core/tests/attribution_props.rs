@@ -1,0 +1,76 @@
+//! Property tests for per-layer MAC attribution: the profiler's view
+//! (`antidote_core::profile::attribute_macs`) must agree with the
+//! analytic FLOPs model (`antidote_core::flops::analytic_flops`)
+//! *exactly* — per layer and in the forward-order sum — for VGG16 and
+//! ResNet56 under arbitrary well-formed `PruneSchedule`s. The two
+//! implementations encode the crediting rule independently, so drift in
+//! either one trips these tests.
+
+use antidote_core::flops::analytic_flops;
+use antidote_core::profile::attribute_macs;
+use antidote_core::PruneSchedule;
+use antidote_models::{ConvShape, ResNetConfig, VggConfig};
+use proptest::prelude::*;
+
+/// Asserts exact per-layer and summed agreement between the profiler
+/// attribution and the analytic model.
+fn assert_attribution_exact(shapes: &[ConvShape], schedule: &PruneSchedule) {
+    let attr = attribute_macs(shapes, schedule);
+    let flops = analytic_flops(shapes, schedule);
+    assert_eq!(attr.len(), flops.per_layer.len());
+    for (a, f) in attr.iter().zip(&flops.per_layer) {
+        assert_eq!(a.layer, f.layer);
+        assert_eq!(a.block, f.block);
+        assert_eq!(a.dense_macs, f.dense_macs, "layer {}", a.layer);
+        assert_eq!(
+            a.attributed_macs, f.pruned_macs,
+            "layer {} attribution must be bit-exact",
+            a.layer
+        );
+    }
+    // Same f64 additions in the same (forward) order ⇒ exact sums.
+    let dense_sum: u64 = attr.iter().map(|a| a.dense_macs).sum();
+    let attributed_sum: f64 = attr.iter().map(|a| a.attributed_macs).sum();
+    assert_eq!(dense_sum, flops.baseline_macs);
+    assert_eq!(attributed_sum, flops.pruned_macs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vgg16_attribution_is_exact(
+        channel in proptest::collection::vec(0.0f64..=1.0, 0..6),
+        spatial in proptest::collection::vec(0.0f64..=1.0, 0..6),
+    ) {
+        let shapes = VggConfig::vgg16(32, 10).conv_shapes();
+        let schedule = PruneSchedule::new(channel, spatial);
+        assert_attribution_exact(&shapes, &schedule);
+    }
+
+    #[test]
+    fn resnet56_attribution_is_exact(
+        channel in proptest::collection::vec(0.0f64..=1.0, 0..4),
+        spatial in proptest::collection::vec(0.0f64..=1.0, 0..4),
+    ) {
+        let shapes = ResNetConfig::resnet56(32, 10).conv_shapes();
+        let schedule = PruneSchedule::new(channel, spatial);
+        assert_attribution_exact(&shapes, &schedule);
+    }
+}
+
+#[test]
+fn paper_settings_attribution_is_exact() {
+    // The exact Table I schedules, as a deterministic anchor alongside
+    // the randomized cases.
+    let vgg = VggConfig::vgg16(32, 10).conv_shapes();
+    assert_attribution_exact(
+        &vgg,
+        &PruneSchedule::channel_only(vec![0.2, 0.2, 0.6, 0.9, 0.9]),
+    );
+    let resnet = ResNetConfig::resnet56(32, 10).conv_shapes();
+    assert_attribution_exact(
+        &resnet,
+        &PruneSchedule::new(vec![0.3, 0.3, 0.6], vec![0.6, 0.6, 0.6]),
+    );
+}

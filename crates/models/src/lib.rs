@@ -30,6 +30,7 @@
 
 mod config;
 mod network;
+mod profiled;
 mod resnet;
 pub mod shrunk;
 mod tap;

@@ -8,6 +8,7 @@
 
 use crate::config::{ConvShape, ResNetConfig};
 use crate::network::Network;
+use crate::profiled::profiled_masked_conv;
 use crate::tap::{masks_to_tensor, FeatureHook, TapId, TapInfo};
 use antidote_nn::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
 use antidote_nn::masked::{masked_conv2d, FeatureMask, MacCounter};
@@ -103,23 +104,22 @@ impl BasicBlock {
     /// Measured-MAC inference: conv2 executes through the masked kernel
     /// using the tap's masks; conv1 and the projection run dense (their
     /// inputs are unpruned).
+    ///
+    /// `layer_base` is conv1's forward-order index in `conv_shapes()`
+    /// (conv2 is `layer_base + 1`) for per-layer profiling attribution;
+    /// the projection is not in `conv_shapes` and is timed under the
+    /// aggregate `fwd.projection` span.
     fn forward_measured(
         &mut self,
         x: &Tensor,
         hook: &mut dyn FeatureHook,
         counter: &mut MacCounter,
+        layer_base: usize,
     ) -> Tensor {
         let mode = Mode::Eval;
         let n = x.dims()[0];
         let keep_all = vec![FeatureMask::keep_all(); n];
-        let mut h = masked_conv2d(
-            x,
-            &self.conv1.weight().value,
-            Some(&self.conv1.bias().value),
-            self.conv1.geometry(),
-            &keep_all,
-            counter,
-        );
+        let mut h = profiled_masked_conv(layer_base, x, &self.conv1, &keep_all, counter);
         if let Some(bn) = &mut self.bn1 {
             h = bn.forward(&h, mode);
         }
@@ -133,19 +133,13 @@ impl BasicBlock {
             }
             None => keep_all.clone(),
         };
-        h = masked_conv2d(
-            &h,
-            &self.conv2.weight().value,
-            Some(&self.conv2.bias().value),
-            self.conv2.geometry(),
-            &masks,
-            counter,
-        );
+        h = profiled_masked_conv(layer_base + 1, &h, &self.conv2, &masks, counter);
         if let Some(bn) = &mut self.bn2 {
             h = bn.forward(&h, mode);
         }
         let skip = match &mut self.projection {
             Some((conv, bn)) => {
+                let _span = antidote_obs::span("fwd.projection");
                 let mut s = masked_conv2d(
                     x,
                     &conv.weight().value,
@@ -533,22 +527,18 @@ impl Network for ResNet {
         let mode = Mode::Eval;
         let n = input.dims()[0];
         let keep_all = vec![FeatureMask::keep_all(); n];
-        let mut x = masked_conv2d(
-            input,
-            &self.stem_conv.weight().value,
-            Some(&self.stem_conv.bias().value),
-            self.stem_conv.geometry(),
-            &keep_all,
-            counter,
-        );
+        // Stem conv is conv_shapes() layer 0; block i's convs are
+        // layers 1 + 2i and 2 + 2i.
+        let mut x = profiled_masked_conv(0, input, &self.stem_conv, &keep_all, counter);
         if let Some(bn) = &mut self.stem_bn {
             x = bn.forward(&x, mode);
         }
         x = self.stem_relu.forward(&x, mode);
-        for block in &mut self.blocks {
-            x = block.forward_measured(&x, hook, counter);
+        for (bi, block) in self.blocks.iter_mut().enumerate() {
+            x = block.forward_measured(&x, hook, counter, 1 + 2 * bi);
         }
         let x = self.pool.forward(&x, mode);
+        let _s = antidote_obs::span("fwd.linear");
         counter.add(self.head.macs() * n as u64);
         self.head.forward(&x, mode)
     }

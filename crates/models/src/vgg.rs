@@ -2,9 +2,10 @@
 
 use crate::config::{ConvShape, VggConfig};
 use crate::network::Network;
+use crate::profiled::profiled_masked_conv;
 use crate::tap::{masks_to_tensor, FeatureHook, TapId, TapInfo};
 use antidote_nn::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
-use antidote_nn::masked::{masked_conv2d, FeatureMask, MacCounter};
+use antidote_nn::masked::{FeatureMask, MacCounter};
 use antidote_nn::{Layer, Mode, Parameter};
 use antidote_tensor::Tensor;
 use rand::Rng;
@@ -265,6 +266,9 @@ impl Network for Vgg {
         let mut x = input.clone();
         // Masks from the most recent tap, consumed by the next conv.
         let mut pending: Option<Vec<FeatureMask>> = None;
+        // Forward-order conv index, matching `conv_shapes()` for
+        // per-layer profiling attribution.
+        let mut conv_idx = 0usize;
         for op in &mut self.ops {
             x = match op {
                 Op::Conv(l) => {
@@ -272,14 +276,9 @@ impl Network for Vgg {
                     let masks = pending
                         .take()
                         .unwrap_or_else(|| vec![FeatureMask::keep_all(); n]);
-                    masked_conv2d(
-                        &x,
-                        &l.weight().value,
-                        Some(&l.bias().value),
-                        l.geometry(),
-                        &masks,
-                        counter,
-                    )
+                    let out = profiled_masked_conv(conv_idx, &x, l, &masks, counter);
+                    conv_idx += 1;
+                    out
                 }
                 Op::Bn(l) => l.forward(&x, mode),
                 Op::Relu(l) => l.forward(&x, mode),
@@ -297,6 +296,7 @@ impl Network for Vgg {
                 }
                 Op::Flatten(l) => l.forward(&x, mode),
                 Op::Linear(l) => {
+                    let _s = antidote_obs::span("fwd.linear");
                     counter.add(l.macs() * x.dims()[0] as u64);
                     l.forward(&x, mode)
                 }

@@ -109,6 +109,7 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let _span = antidote_obs::span("nn.batchnorm.forward");
         let (n, c, h, w) = input.shape().as_nchw().expect("BatchNorm2d expects NCHW");
         assert_eq!(c, self.channels, "channel mismatch");
         let plane = h * w;
@@ -180,6 +181,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = antidote_obs::span("nn.batchnorm.backward");
         let cache = self
             .cache
             .take()

@@ -142,6 +142,9 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // Op-level profiling spans (antidote-obs): a single atomic load
+        // when observability is disabled.
+        let _span = antidote_obs::span("nn.conv2d.forward");
         let (n, c, h, w) = input
             .shape()
             .as_nchw()
@@ -162,10 +165,16 @@ impl Layer for Conv2d {
         for ni in 0..n {
             let img = &input.data()[ni * c * h * w..(ni + 1) * c * h * w];
             let mut cols = vec![0.0f32; ckk * l];
-            im2col(img, c, h, w, self.geom, &mut cols);
+            {
+                let _s = antidote_obs::span("nn.conv2d.im2col");
+                im2col(img, c, h, w, self.geom, &mut cols);
+            }
             let out_slice =
                 &mut out.data_mut()[ni * self.out_channels * l..(ni + 1) * self.out_channels * l];
-            matmul_into(&w_data, &cols, out_slice, self.out_channels, ckk, l);
+            {
+                let _s = antidote_obs::span("nn.conv2d.gemm");
+                matmul_into(&w_data, &cols, out_slice, self.out_channels, ckk, l);
+            }
             for co in 0..self.out_channels {
                 let b = b_data[co];
                 if b != 0.0 {
@@ -187,6 +196,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = antidote_obs::span("nn.conv2d.backward");
         let cache = self
             .cache
             .take()

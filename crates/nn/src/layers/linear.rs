@@ -92,6 +92,7 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let _span = antidote_obs::span("nn.linear.forward");
         let (n, d) = input
             .shape()
             .as_matrix()
@@ -123,6 +124,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = antidote_obs::span("nn.linear.backward");
         let x = self
             .cache
             .take()

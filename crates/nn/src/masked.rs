@@ -152,6 +152,7 @@ pub fn masked_conv2d(
     masks: &[FeatureMask],
     counter: &mut MacCounter,
 ) -> Tensor {
+    let _span = antidote_obs::span("nn.masked_conv2d");
     let (n, cin, h, w) = input.shape().as_nchw().expect("input must be NCHW");
     assert_eq!(masks.len(), n, "need one mask per batch item");
     let wd = weight.dims();
@@ -215,6 +216,9 @@ pub fn masked_conv2d(
         }
     }
     counter.add(macs);
+    if antidote_obs::enabled() {
+        antidote_obs::counter_add("nn.masked_conv2d.macs", macs);
+    }
     out
 }
 

@@ -1,0 +1,139 @@
+//! Centralized warn-and-ignore parsing for `ANTIDOTE_*` environment
+//! knobs.
+//!
+//! Every knob in the workspace follows the same contract: unset means
+//! "use the default", a well-formed value overrides it, and a malformed
+//! value is **ignored with a warning** (an `env.ignored` event through
+//! the console sink) — a typo must never crash a long training run or a
+//! serving process. This module is the single implementation of that
+//! contract; callers in `antidote-serve`/`antidote-bench` use it instead
+//! of hand-rolled `parse`/`eprintln!` blocks.
+
+use crate::event::warn_ignored_env;
+use std::str::FromStr;
+
+/// Parses `key` with `T::from_str`. Unset returns `None`; a malformed
+/// value warns and returns `None`.
+pub fn parse<T: FromStr>(key: &str) -> Option<T> {
+    let raw = std::env::var(key).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_ignored_env(key, &raw, "unparseable");
+            None
+        }
+    }
+}
+
+/// Like [`parse`], falling back to `default` when unset or malformed.
+pub fn parse_or<T: FromStr>(key: &str, default: T) -> T {
+    parse(key).unwrap_or(default)
+}
+
+/// Parses `key` as a value that must be strictly greater than zero
+/// (worker counts, batch sizes, millisecond windows, backoff factors).
+/// Non-positive or malformed values warn and return `None`.
+pub fn positive<T>(key: &str) -> Option<T>
+where
+    T: FromStr + PartialOrd + Default,
+{
+    let raw = std::env::var(key).ok()?;
+    match raw.parse::<T>() {
+        Ok(v) if v > T::default() => Some(v),
+        _ => {
+            warn_ignored_env(key, &raw, "must be positive");
+            None
+        }
+    }
+}
+
+/// Emits the standard `env.ignored` warning for a knob a caller
+/// rejected with validation of its own (e.g. a finiteness check on top
+/// of [`positive`]), keeping the warning shape uniform.
+pub fn warn_ignored(key: &str, raw: &str, reason: &str) {
+    warn_ignored_env(key, raw, reason);
+}
+
+/// Parses `key` as a boolean flag: `1`/`true`/`on`/`yes` and
+/// `0`/`false`/`off`/`no` (case-insensitive). Anything else warns and
+/// returns `None`.
+pub fn flag(key: &str) -> Option<bool> {
+    let raw = std::env::var(key).ok()?;
+    match raw.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => {
+            warn_ignored_env(key, &raw, "must be a boolean (1/0/true/false/on/off)");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use crate::{drain_events, reset};
+
+    // Tests mutate process-global env vars; each uses a distinct key and
+    // holds the registry lock so event assertions do not interleave.
+
+    #[test]
+    fn unset_is_none_without_warning() {
+        let _guard = test_lock::hold();
+        reset();
+        assert_eq!(parse::<u64>("ANTIDOTE_TEST_UNSET"), None);
+        assert!(drain_events().iter().all(|l| !l.contains("ANTIDOTE_TEST_UNSET")));
+    }
+
+    #[test]
+    fn well_formed_values_parse() {
+        let _guard = test_lock::hold();
+        std::env::set_var("ANTIDOTE_TEST_OK", "42");
+        assert_eq!(parse::<u64>("ANTIDOTE_TEST_OK"), Some(42));
+        assert_eq!(parse_or("ANTIDOTE_TEST_OK", 7u64), 42);
+        assert_eq!(positive::<u64>("ANTIDOTE_TEST_OK"), Some(42));
+        std::env::remove_var("ANTIDOTE_TEST_OK");
+    }
+
+    #[test]
+    fn malformed_values_warn_and_fall_back() {
+        let _guard = test_lock::hold();
+        reset();
+        std::env::set_var("ANTIDOTE_TEST_BAD", "not-a-number");
+        assert_eq!(parse::<u64>("ANTIDOTE_TEST_BAD"), None);
+        assert_eq!(parse_or("ANTIDOTE_TEST_BAD", 9u64), 9);
+        let lines = drain_events();
+        assert!(lines.iter().any(|l| l.contains("env.ignored") && l.contains("ANTIDOTE_TEST_BAD")));
+        std::env::remove_var("ANTIDOTE_TEST_BAD");
+    }
+
+    #[test]
+    fn positive_rejects_zero_and_negative() {
+        let _guard = test_lock::hold();
+        reset();
+        std::env::set_var("ANTIDOTE_TEST_ZERO", "0");
+        assert_eq!(positive::<u64>("ANTIDOTE_TEST_ZERO"), None);
+        std::env::set_var("ANTIDOTE_TEST_NEG", "-1.5");
+        assert_eq!(positive::<f64>("ANTIDOTE_TEST_NEG"), None);
+        let lines = drain_events();
+        assert!(lines.iter().any(|l| l.contains("ANTIDOTE_TEST_ZERO")));
+        assert!(lines.iter().any(|l| l.contains("ANTIDOTE_TEST_NEG")));
+        std::env::remove_var("ANTIDOTE_TEST_ZERO");
+        std::env::remove_var("ANTIDOTE_TEST_NEG");
+    }
+
+    #[test]
+    fn flags_accept_common_spellings() {
+        let _guard = test_lock::hold();
+        reset();
+        for (raw, want) in [("1", true), ("TRUE", true), ("on", true), ("0", false), ("off", false)] {
+            std::env::set_var("ANTIDOTE_TEST_FLAG", raw);
+            assert_eq!(flag("ANTIDOTE_TEST_FLAG"), Some(want), "raw={raw}");
+        }
+        std::env::set_var("ANTIDOTE_TEST_FLAG", "maybe");
+        assert_eq!(flag("ANTIDOTE_TEST_FLAG"), None);
+        std::env::remove_var("ANTIDOTE_TEST_FLAG");
+        assert!(drain_events().iter().any(|l| l.contains("must be a boolean")));
+    }
+}

@@ -1,0 +1,270 @@
+//! Bounded JSONL event log: in-memory ring buffer, optional file sink
+//! (`ANTIDOTE_TRACE`), and a level-gated stderr console sink.
+
+use crate::json;
+use crate::metrics::lock;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The ring retains at most this many recent event lines.
+const RING_CAP: usize = 4096;
+
+/// Event severity. The console sink prints events at or above its
+/// threshold (default [`Level::Warn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics.
+    Debug = 0,
+    /// Progress telemetry (epochs, checkpoints, ascent steps).
+    Info = 1,
+    /// Something was ignored or recovered from.
+    Warn = 2,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite renders as JSON `null`).
+    F64(f64),
+    /// String (JSON-escaped).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value<'_> {
+    fn render(&self) -> String {
+        match self {
+            Value::U64(v) => format!("{v}"),
+            Value::I64(v) => format!("{v}"),
+            Value::F64(v) => json::number(*v),
+            Value::Str(s) => format!("\"{}\"", json::escape(s)),
+            Value::Bool(b) => format!("{b}"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventLog {
+    ring: VecDeque<String>,
+    dropped: u64,
+    file: Option<File>,
+}
+
+fn event_log() -> &'static Mutex<EventLog> {
+    static LOG: OnceLock<Mutex<EventLog>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(EventLog::default()))
+}
+
+fn start_instant() -> Instant {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    *T0.get_or_init(Instant::now)
+}
+
+/// Console threshold as a `Level` discriminant; 3 means off.
+static CONSOLE_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Sets the console (stderr) sink threshold; `None` silences it
+/// entirely (the `--quiet` behaviour, also reachable via
+/// `ANTIDOTE_LOG=off`).
+pub fn set_console_level(level: Option<Level>) {
+    CONSOLE_LEVEL.store(level.map_or(3, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Mirrors future events to a JSONL file (append mode). Returns `false`
+/// — after emitting a warning event — if the file cannot be opened
+/// (warn-and-ignore, consistent with the `ANTIDOTE_*` knob convention).
+pub fn set_trace_path(path: &str) -> bool {
+    match OpenOptions::new().create(true).append(true).open(path) {
+        Ok(f) => {
+            lock(event_log()).file = Some(f);
+            TRACE_ACTIVE.store(true, Ordering::Relaxed);
+            true
+        }
+        Err(e) => {
+            warn_ignored_env("ANTIDOTE_TRACE", path, &format!("cannot open: {e}"));
+            false
+        }
+    }
+}
+
+/// Records a structured event.
+///
+/// The line always lands in the bounded in-memory ring (and the trace
+/// file when one is set); it is echoed to stderr when `level` clears
+/// the console threshold. Rendered shape:
+/// `{"ts_ms":…,"level":"…","kind":"…",<fields>}`.
+pub fn event(level: Level, kind: &str, fields: &[(&str, Value<'_>)]) {
+    let ts_ms = start_instant().elapsed().as_millis() as u64;
+    let mut line = format!(
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"kind\":\"{}\"",
+        level.as_str(),
+        json::escape(kind)
+    );
+    for (k, v) in fields {
+        line.push_str(&format!(",\"{}\":{}", json::escape(k), v.render()));
+    }
+    line.push('}');
+    {
+        let mut log = lock(event_log());
+        if log.ring.len() == RING_CAP {
+            log.ring.pop_front();
+            log.dropped += 1;
+        }
+        log.ring.push_back(line.clone());
+        if let Some(f) = log.file.as_mut() {
+            // A failing sink must never take the workload down; drop the
+            // line and keep going.
+            let _ = writeln!(f, "{line}");
+        }
+    }
+    if level as u8 >= CONSOLE_LEVEL.load(Ordering::Relaxed) {
+        eprintln!("{line}");
+    }
+}
+
+/// [`event`] at [`Level::Debug`].
+pub fn debug(kind: &str, fields: &[(&str, Value<'_>)]) {
+    event(Level::Debug, kind, fields);
+}
+
+/// [`event`] at [`Level::Info`].
+pub fn info(kind: &str, fields: &[(&str, Value<'_>)]) {
+    event(Level::Info, kind, fields);
+}
+
+/// [`event`] at [`Level::Warn`].
+pub fn warn_event(kind: &str, fields: &[(&str, Value<'_>)]) {
+    event(Level::Warn, kind, fields);
+}
+
+/// The `env.ignored` warning every `ANTIDOTE_*` knob emits on bad input.
+pub(crate) fn warn_ignored_env(key: &str, raw: &str, reason: &str) {
+    warn_event(
+        "env.ignored",
+        &[
+            ("key", Value::Str(key)),
+            ("value", Value::Str(raw)),
+            ("reason", Value::Str(reason)),
+        ],
+    );
+}
+
+/// Removes and returns every buffered event line (oldest first).
+pub fn drain_events() -> Vec<String> {
+    lock(event_log()).ring.drain(..).collect()
+}
+
+/// Events evicted from the ring since startup (the bounded-buffer
+/// overflow count).
+pub fn events_dropped() -> u64 {
+    lock(event_log()).dropped
+}
+
+pub(crate) fn clear_ring() {
+    let mut log = lock(event_log());
+    log.ring.clear();
+    log.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn events_render_as_jsonl_and_drain() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        info(
+            "t.event",
+            &[
+                ("epoch", Value::U64(3)),
+                ("loss", Value::F64(1.5)),
+                ("note", Value::Str("a\"b")),
+                ("ok", Value::Bool(true)),
+                ("delta", Value::I64(-2)),
+            ],
+        );
+        let lines = drain_events();
+        let line = lines.iter().find(|l| l.contains("t.event")).expect("event buffered");
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"epoch\":3"));
+        assert!(line.contains("\"loss\":1.5"));
+        assert!(line.contains("\"note\":\"a\\\"b\""));
+        assert!(line.contains("\"ok\":true"));
+        assert!(line.contains("\"delta\":-2"));
+        assert!(drain_events().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        for i in 0..(RING_CAP + 5) {
+            debug("t.flood", &[("i", Value::U64(i as u64))]);
+        }
+        let lines = drain_events();
+        assert_eq!(lines.len(), RING_CAP);
+        assert_eq!(events_dropped(), 5);
+        // Oldest events were evicted.
+        assert!(lines[0].contains("\"i\":5"));
+        clear_ring();
+    }
+
+    #[test]
+    fn non_finite_field_values_render_null() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        info("t.nan", &[("v", Value::F64(f64::NAN))]);
+        let lines = drain_events();
+        assert!(lines.iter().any(|l| l.contains("\"v\":null")));
+    }
+
+    #[test]
+    fn trace_file_sink_appends_jsonl() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("antidote-obs-test-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        assert!(set_trace_path(&path_str));
+        info("t.sink", &[("x", Value::U64(1))]);
+        // Detach the sink before reading.
+        lock(event_log()).file = None;
+        TRACE_ACTIVE.store(false, Ordering::Relaxed);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.lines().any(|l| l.contains("\"kind\":\"t.sink\"")));
+        let _ = std::fs::remove_file(&path);
+        clear_ring();
+    }
+
+    #[test]
+    fn bad_trace_path_warns_and_ignores() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        assert!(!set_trace_path("/nonexistent-dir-for-sure/trace.jsonl"));
+        let lines = drain_events();
+        assert!(lines.iter().any(|l| l.contains("env.ignored")));
+        clear_ring();
+    }
+}

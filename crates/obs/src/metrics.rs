@@ -1,0 +1,350 @@
+//! Global metrics registry: counters, gauges, bounded-sample histograms,
+//! and the [`Snapshot`] that freezes everything (spans included) for
+//! reporting.
+
+use crate::json;
+use crate::span::SpanStat;
+use crate::stats::percentile;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Histograms keep at most this many recent samples (ring semantics);
+/// `count` still reflects every recorded value.
+const HIST_CAP: usize = 16_384;
+
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, BoundedSamples>>,
+}
+
+#[derive(Debug, Default)]
+struct BoundedSamples {
+    recent: VecDeque<f64>,
+    count: u64,
+}
+
+impl BoundedSamples {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        if self.recent.len() == HIST_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(v);
+    }
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Locks a registry map, recovering from poisoning (a panicking worker
+/// thread must not take observability down with it).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Adds `delta` to the named monotonic counter.
+///
+/// Counters always record (they are cheap and typically increment on
+/// rare events like dropped samples); guard calls on hot paths with
+/// [`crate::enabled`] at the call site.
+pub fn counter_add(name: &str, delta: u64) {
+    let mut counters = lock(&registry().counters);
+    match counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Current value of a counter (0 if never incremented).
+pub fn counter_value(name: &str) -> u64 {
+    lock(&registry().counters).get(name).copied().unwrap_or(0)
+}
+
+/// Sets the named gauge to `value` (last-write-wins).
+pub fn gauge_set(name: &str, value: f64) {
+    let mut gauges = lock(&registry().gauges);
+    match gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+/// Records one sample into the named histogram. Non-finite samples are
+/// dropped with a `obs.nonfinite_dropped` counter increment.
+pub fn hist_record(name: &str, value: f64) {
+    if !value.is_finite() {
+        counter_add("obs.nonfinite_dropped", 1);
+        return;
+    }
+    let mut hists = lock(&registry().hists);
+    match hists.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = BoundedSamples::default();
+            h.record(value);
+            hists.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// Aggregated timings of one span name at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Completed span instances.
+    pub count: u64,
+    /// Summed wall-clock time, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest instance, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest instance, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Percentile summary of one histogram at snapshot time (computed over
+/// the retained sample window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total samples ever recorded (including evicted ones).
+    pub count: u64,
+    /// Nearest-rank p50 of the retained window.
+    pub p50: f64,
+    /// Nearest-rank p95 of the retained window.
+    pub p95: f64,
+    /// Nearest-rank p99 of the retained window.
+    pub p99: f64,
+    /// Smallest retained sample.
+    pub min: f64,
+    /// Largest retained sample.
+    pub max: f64,
+}
+
+/// A point-in-time copy of every aggregate in the registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Per-name span timings, name-sorted.
+    pub spans: Vec<SpanSnapshot>,
+    /// Counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, name-sorted.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a span aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled; the obs crate
+    /// is std-only).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                    json::escape(&s.name),
+                    s.count,
+                    s.total_ns,
+                    s.min_ns,
+                    s.max_ns
+                )
+            })
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{{\"name\":\"{}\",\"value\":{v}}}", json::escape(n)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| {
+                format!("{{\"name\":\"{}\",\"value\":{}}}", json::escape(n), json::number(*v))
+            })
+            .collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+                    json::escape(&h.name),
+                    h.count,
+                    json::number(h.p50),
+                    json::number(h.p95),
+                    json::number(h.p99),
+                    json::number(h.min),
+                    json::number(h.max)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"spans\":[{}],\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}",
+            spans.join(","),
+            counters.join(","),
+            gauges.join(","),
+            hists.join(",")
+        )
+    }
+}
+
+/// Freezes every aggregate (spans, counters, gauges, histograms) into a
+/// [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let spans = lock(&reg.spans)
+        .iter()
+        .map(|(name, s)| SpanSnapshot {
+            name: name.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        })
+        .collect();
+    let counters = lock(&reg.counters)
+        .iter()
+        .map(|(n, &v)| (n.clone(), v))
+        .collect();
+    let gauges = lock(&reg.gauges)
+        .iter()
+        .map(|(n, &v)| (n.clone(), v))
+        .collect();
+    let hists = lock(&reg.hists)
+        .iter()
+        .map(|(name, h)| {
+            let mut sorted: Vec<f64> = h.recent.iter().copied().collect();
+            sorted.sort_by(f64::total_cmp);
+            HistSnapshot {
+                name: name.clone(),
+                count: h.count,
+                p50: percentile(&sorted, 50.0),
+                p95: percentile(&sorted, 95.0),
+                p99: percentile(&sorted, 99.0),
+                min: sorted.first().copied().unwrap_or(0.0),
+                max: sorted.last().copied().unwrap_or(0.0),
+            }
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        gauges,
+        hists,
+    }
+}
+
+/// Clears all aggregates and the event ring (the trace file sink and
+/// enabled flag are left as-is).
+pub fn reset() {
+    let reg = registry();
+    lock(&reg.spans).clear();
+    lock(&reg.counters).clear();
+    lock(&reg.gauges).clear();
+    lock(&reg.hists).clear();
+    crate::event::clear_ring();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counters_gauges_hists_round_trip() {
+        let _guard = test_lock::hold();
+        reset();
+        counter_add("t.counter", 2);
+        counter_add("t.counter", 3);
+        gauge_set("t.gauge", 1.0);
+        gauge_set("t.gauge", 7.5);
+        for i in 1..=100 {
+            hist_record("t.hist", i as f64);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.counter"), Some(5));
+        assert_eq!(snap.gauge("t.gauge"), Some(7.5));
+        let h = snap.hist("t.hist").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        reset();
+        assert_eq!(counter_value("t.counter"), 0);
+    }
+
+    #[test]
+    fn non_finite_hist_samples_are_dropped_with_counter() {
+        let _guard = test_lock::hold();
+        reset();
+        hist_record("t.nan", f64::NAN);
+        hist_record("t.nan", f64::INFINITY);
+        hist_record("t.nan", 2.0);
+        let snap = snapshot();
+        assert_eq!(snap.hist("t.nan").unwrap().count, 1);
+        assert_eq!(snap.counter("obs.nonfinite_dropped"), Some(2));
+        reset();
+    }
+
+    #[test]
+    fn histogram_window_is_bounded() {
+        let _guard = test_lock::hold();
+        reset();
+        for i in 0..(HIST_CAP + 10) {
+            hist_record("t.bounded", i as f64);
+        }
+        let reg = registry();
+        let hists = lock(&reg.hists);
+        let h = hists.get("t.bounded").unwrap();
+        assert_eq!(h.recent.len(), HIST_CAP);
+        assert_eq!(h.count, (HIST_CAP + 10) as u64);
+        drop(hists);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let _guard = test_lock::hold();
+        reset();
+        counter_add("t.json\"quoted", 1);
+        gauge_set("t.json.gauge", f64::NAN);
+        let js = snapshot().to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("t.json\\\"quoted"));
+        assert!(js.contains("\"value\":null"));
+        reset();
+    }
+}

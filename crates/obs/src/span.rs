@@ -1,0 +1,164 @@
+//! RAII span timers with thread-safe per-name aggregation.
+
+use crate::metrics::{lock, registry};
+use std::borrow::Cow;
+use std::time::Instant;
+
+/// Aggregated wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed span instances.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest instance, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest instance, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// A live span: drops record elapsed time into the registry under the
+/// span's name. Obtained from [`span`] or [`layer_span`]; when
+/// observability is disabled the guard is inert and costs nothing to
+/// drop.
+#[derive(Debug)]
+#[must_use = "a span guard measures until dropped; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    live: Option<(Cow<'static, str>, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            lock(&registry().spans)
+                .entry(name.into_owned())
+                .or_default()
+                .record(ns);
+        }
+    }
+}
+
+/// Starts a span timer under `name`.
+///
+/// Disabled ([`crate::enabled`] false) this is one atomic load and
+/// returns an inert guard; no clock is read and static names are not
+/// allocated.
+pub fn span<N: Into<Cow<'static, str>>>(name: N) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    SpanGuard {
+        live: Some((name.into(), Instant::now())),
+    }
+}
+
+/// Starts a span named `"{stage}.layer{index:02}"` — the per-layer
+/// profiling convention used by the model forward paths. The name is
+/// only formatted (allocated) when observability is enabled.
+pub fn layer_span(stage: &str, index: usize) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    SpanGuard {
+        live: Some((Cow::Owned(format!("{stage}.layer{index:02}")), Instant::now())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use crate::{reset, set_enabled, snapshot};
+
+    #[test]
+    fn spans_aggregate_count_total_min_max() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _s = span("t.span.agg");
+            std::hint::black_box(());
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let s = snap.span("t.span.agg").expect("span recorded");
+        assert_eq!(s.count, 3);
+        assert!(s.total_ns >= s.min_ns.saturating_add(s.max_ns).saturating_sub(s.max_ns));
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.max_ns <= s.total_ns);
+        reset();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(false);
+        {
+            let _s = span("t.span.disabled");
+        }
+        {
+            let _s = layer_span("t.fwd", 3);
+        }
+        let snap = snapshot();
+        assert!(snap.span("t.span.disabled").is_none());
+        assert!(snap.span("t.fwd.layer03").is_none());
+        reset();
+    }
+
+    #[test]
+    fn layer_span_naming_convention() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        {
+            let _s = layer_span("fwd", 7);
+        }
+        set_enabled(false);
+        assert!(snapshot().span("fwd.layer07").is_some());
+        reset();
+    }
+
+    #[test]
+    fn spans_are_thread_safe() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10 {
+                        let _s = span("t.span.threads");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        assert_eq!(snapshot().span("t.span.threads").unwrap().count, 40);
+        reset();
+    }
+}

@@ -87,7 +87,8 @@ impl ServeConfig {
     /// - `ANTIDOTE_SERVE_DEADLINE_MS` — default request deadline, ms.
     ///
     /// Unparseable or zero values are ignored with a warning on stderr,
-    /// keeping the defaults (matching `WorkloadRunOptions::from_env`).
+    /// keeping the defaults (the shared warn-and-ignore convention of
+    /// [`antidote_obs::env`]).
     pub fn from_env() -> Self {
         Self::default().with_env_overrides()
     }
@@ -96,16 +97,7 @@ impl ServeConfig {
     /// [`ServeConfig::from_env`]) on top of `self`, so binaries can set
     /// their own defaults while staying operator-tunable.
     pub fn with_env_overrides(mut self) -> Self {
-        fn positive(key: &str) -> Option<u64> {
-            let raw = std::env::var(key).ok()?;
-            match raw.parse::<u64>() {
-                Ok(v) if v > 0 => Some(v),
-                _ => {
-                    eprintln!("warning: ignoring {key}={raw}: must be a positive integer");
-                    None
-                }
-            }
-        }
+        let positive = antidote_obs::env::positive::<u64>;
         if let Some(v) = positive("ANTIDOTE_SERVE_WORKERS") {
             self.workers = v as usize;
         }
@@ -597,6 +589,16 @@ fn worker_loop(
             m.expired += expired.len() as u64;
             m.record_batch(live.len());
         }
+        if antidote_obs::enabled() {
+            // Queue depth at batch launch plus per-worker live-batch-size
+            // histogram; together with the per-worker busy span below
+            // these expose backlog and worker utilization.
+            antidote_obs::gauge_set("serve.queue_depth", queue.len() as f64);
+            antidote_obs::hist_record(
+                &format!("serve.worker{id:02}.batch_live"),
+                live.len() as f64,
+            );
+        }
         for t in expired {
             let waited = launched_at.duration_since(t.enqueued_at);
             let _ = t.tx.send(Err(ServeError::DeadlineExpired { waited }));
@@ -617,6 +619,7 @@ fn worker_loop(
             })
             .sum();
         let tap_count = mapper.tap_count();
+        let _busy = antidote_obs::span(format!("serve.worker{id:02}.busy"));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if stall_ms > 0 {
                 std::thread::sleep(Duration::from_millis(stall_ms));

@@ -4,31 +4,11 @@
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
-/// Nearest-rank percentile of an ascending-sorted sample slice.
-///
-/// `q` is in percent (`50.0` = median). Empty input returns `0.0`; `q`
-/// outside `[0, 100]` is clamped. This is the single percentile
-/// implementation shared by [`ServeMetrics`] and the experiment harness
-/// (`antidote-bench`).
-///
-/// # Examples
-///
-/// ```
-/// use antidote_serve::metrics::percentile;
-///
-/// let sorted = [1.0, 2.0, 3.0, 4.0];
-/// assert_eq!(percentile(&sorted, 50.0), 2.0);
-/// assert_eq!(percentile(&sorted, 99.0), 4.0);
-/// assert_eq!(percentile(&sorted, 0.0), 1.0);
-/// ```
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let q = q.clamp(0.0, 100.0);
-    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
-}
+/// The single nearest-rank percentile implementation shared across the
+/// workspace now lives in `antidote-obs`; re-exported here so existing
+/// `antidote_serve::metrics::percentile` callers (the experiment
+/// harness, doctests) keep working.
+pub use antidote_obs::percentile;
 
 /// Summary statistics of a latency sample (milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -49,12 +29,20 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Builds a summary from unsorted millisecond samples.
+    ///
+    /// Non-finite samples (NaN/±inf) are dropped rather than poisoning
+    /// the percentiles; each drop increments the
+    /// `serve.nonfinite_samples_dropped` observability counter.
     pub fn from_samples_ms(samples: &[f64]) -> Self {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let dropped = samples.len() - sorted.len();
+        if dropped > 0 {
+            antidote_obs::counter_add("serve.nonfinite_samples_dropped", dropped as u64);
+        }
+        if sorted.is_empty() {
             return Self::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         Self {
             count: sorted.len() as u64,
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -302,6 +290,32 @@ mod tests {
         assert_eq!(s.p99_ms, 4.0);
         assert_eq!(s.max_ms, 4.0);
         assert_eq!(LatencySummary::from_samples_ms(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_fatal() {
+        // Regression: this used to panic on `partial_cmp(..).expect(..)`.
+        let before = antidote_obs::counter_value("serve.nonfinite_samples_dropped");
+        let s = LatencySummary::from_samples_ms(&[
+            4.0,
+            f64::NAN,
+            1.0,
+            f64::INFINITY,
+            3.0,
+            f64::NEG_INFINITY,
+            2.0,
+        ]);
+        assert_eq!(s.count, 4, "only finite samples are summarized");
+        assert!((s.mean_ms - 2.5).abs() < 1e-12);
+        assert_eq!(s.p50_ms, 2.0);
+        assert_eq!(s.max_ms, 4.0);
+        let after = antidote_obs::counter_value("serve.nonfinite_samples_dropped");
+        assert_eq!(after - before, 3, "each drop is counted");
+        // All-non-finite input degrades to the empty summary.
+        assert_eq!(
+            LatencySummary::from_samples_ms(&[f64::NAN, f64::NAN]),
+            LatencySummary::default()
+        );
     }
 
     #[test]

@@ -9,3 +9,8 @@ cargo clippy --workspace -- -D warnings
 # Serving-path regression gate: deterministic closed-loop load; fails on
 # any dropped request, unexpected error, or budget overshoot.
 cargo run --release -p antidote-bench --bin serve_bench -- --smoke
+# Observability gates: disabled obs must not slow the dense forward path
+# (ratio bound, see DESIGN.md §9), and the per-layer profile must be
+# internally consistent (time%/MACs% sum to 100, attribution exact).
+cargo run --release -p antidote-bench --bin profile_report -- --overhead-smoke
+cargo run --release -p antidote-bench --bin profile_report
