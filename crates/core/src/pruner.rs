@@ -327,6 +327,15 @@ impl FeatureHook for DynamicPruner {
         let ch_att = (ck < 1.0).then(|| channel_attention(feature, self.statistic));
         let sp_att = (sk < 1.0).then(|| spatial_attention(feature, self.statistic));
         let plane = h * w;
+        // Build the histogram keys once per tap call — the former code
+        // re-`format!`ed both strings for every batch item.
+        let hist_keys = antidote_obs::enabled().then(|| {
+            let id = tap.id.0;
+            (
+                format!("pruner.tap{id:02}.channel_keep"),
+                format!("pruner.tap{id:02}.spatial_keep"),
+            )
+        });
         let mut masks = Vec::with_capacity(n);
         for ni in 0..n {
             let channel = ch_att
@@ -341,10 +350,9 @@ impl FeatureHook for DynamicPruner {
             entry.channel_keep_sum += ck_frac;
             entry.spatial_keep_sum += sk_frac;
             entry.count += 1;
-            if antidote_obs::enabled() {
-                let id = tap.id.0;
-                antidote_obs::hist_record(&format!("pruner.tap{id:02}.channel_keep"), ck_frac);
-                antidote_obs::hist_record(&format!("pruner.tap{id:02}.spatial_keep"), sk_frac);
+            if let Some((ck_key, sk_key)) = &hist_keys {
+                antidote_obs::hist_record(ck_key, ck_frac);
+                antidote_obs::hist_record(sk_key, sk_frac);
             }
             masks.push(mask);
         }
@@ -363,6 +371,54 @@ mod tests {
             block,
             channels,
             spatial,
+        }
+    }
+
+    #[test]
+    fn batched_call_matches_item_at_a_time() {
+        // Stats and obs histograms must be identical whether the tap sees
+        // one batch-of-4 call or four batch-of-1 calls (pins the hoisted
+        // once-per-call histogram keys).
+        let schedule = || PruneSchedule::new(vec![0.5], vec![0.5]);
+        let feature = Tensor::from_fn([4, 8, 5, 5], |i| ((i * 37 % 101) as f32) * 0.1 - 5.0);
+        let t = tap(0, 8, 25);
+
+        antidote_obs::set_enabled(true);
+        antidote_obs::reset();
+        let mut batched = DynamicPruner::new(schedule());
+        let masks_b = batched
+            .on_feature(t, &feature, Mode::Eval)
+            .expect("schedule prunes, masks expected");
+        let snap_b = antidote_obs::snapshot();
+
+        antidote_obs::reset();
+        let mut single = DynamicPruner::new(schedule());
+        let mut masks_s = Vec::new();
+        for ni in 0..4 {
+            let item = feature
+                .batch_item(ni)
+                .reshape(&[1, 8, 5, 5])
+                .expect("item reshape");
+            masks_s.extend(
+                single
+                    .on_feature(t, &item, Mode::Eval)
+                    .expect("schedule prunes, masks expected"),
+            );
+        }
+        let snap_s = antidote_obs::snapshot();
+        antidote_obs::set_enabled(false);
+        antidote_obs::reset();
+
+        assert_eq!(masks_b, masks_s, "masks must not depend on batching");
+        assert_eq!(
+            batched.stats().mean_keep(0),
+            single.stats().mean_keep(0),
+            "keep statistics must not depend on batching"
+        );
+        for key in ["pruner.tap00.channel_keep", "pruner.tap00.spatial_keep"] {
+            let hb = snap_b.hist(key).expect("batched histogram");
+            let hs = snap_s.hist(key).expect("item-at-a-time histogram");
+            assert_eq!(hb, hs, "{key} histogram must not depend on batching");
         }
     }
 

@@ -1,10 +1,27 @@
 //! 2-D convolution layer (im2col + GEMM, full backward pass).
+//!
+//! Both passes are **batch-parallel** over the `antidote_par` pool (each
+//! batch item's im2col/GEMM is independent), and both are bit-exact
+//! across thread budgets: forward items own disjoint output slices, and
+//! backward reduces per-part weight/bias gradient partials in a fixed
+//! item order over a partition that depends only on the batch size (see
+//! [`GRAD_PARTIAL_PARTS`]).
 
 use crate::{Layer, Mode, Parameter};
 use antidote_tensor::conv::{col2im, im2col, ConvGeometry};
 use antidote_tensor::linalg::{matmul_a_bt, matmul_at_b, matmul_into};
 use antidote_tensor::{init, Tensor};
 use rand::Rng;
+
+/// Upper bound on backward's gradient-partial buffers (one
+/// `(Cout·Cin·K·K)` scratch each). The batch partition this induces is a
+/// function of the batch size alone — never of `ANTIDOTE_THREADS` — so
+/// the partial reduction `grad += part₀; grad += part₁; …` performs the
+/// identical floating-point additions at every thread budget, keeping
+/// `backward` bit-exact from sequential to fully parallel. It also caps
+/// backward's extra memory at 8 weight-tensor clones regardless of batch
+/// size.
+const GRAD_PARTIAL_PARTS: usize = 8;
 
 /// A 2-D convolution with square kernels, symmetric zero padding and bias.
 ///
@@ -158,40 +175,97 @@ impl Layer for Conv2d {
         let (hout, wout) = self.geom.output_size(h, w);
         let l = hout * wout;
         let ckk = c * k * k;
-        let mut out = Tensor::zeros([n, self.out_channels, hout, wout]);
-        let mut cols_cache: Vec<Vec<f32>> = Vec::new();
-        let w_data = self.weight.value.data().to_vec();
-        let b_data = self.bias.value.data().to_vec();
-        for ni in 0..n {
-            let img = &input.data()[ni * c * h * w..(ni + 1) * c * h * w];
-            let mut cols = vec![0.0f32; ckk * l];
+        let cout = self.out_channels;
+        let geom = self.geom;
+        let item_in = c * h * w;
+        let item_out = cout * l;
+        let mut out = Tensor::zeros([n, cout, hout, wout]);
+        // Borrow the parameters — the former `.data().to_vec()` cloned the
+        // full weight and bias tensors on every call.
+        let w_data = self.weight.value.data();
+        let b_data = self.bias.value.data();
+        let in_data = input.data();
+
+        // One batch item: im2col into `cols`, GEMM, bias.
+        let run_item = |img: &[f32], cols: &mut [f32], out_slice: &mut [f32]| {
             {
                 let _s = antidote_obs::span("nn.conv2d.im2col");
-                im2col(img, c, h, w, self.geom, &mut cols);
+                im2col(img, c, h, w, geom, cols);
             }
-            let out_slice =
-                &mut out.data_mut()[ni * self.out_channels * l..(ni + 1) * self.out_channels * l];
             {
                 let _s = antidote_obs::span("nn.conv2d.gemm");
-                matmul_into(&w_data, &cols, out_slice, self.out_channels, ckk, l);
+                matmul_into(w_data, cols, out_slice, cout, ckk, l);
             }
-            for co in 0..self.out_channels {
-                let b = b_data[co];
+            for (co, &b) in b_data.iter().enumerate() {
                 if b != 0.0 {
                     for v in &mut out_slice[co * l..(co + 1) * l] {
                         *v += b;
                     }
                 }
             }
-            if mode.is_train() {
-                cols_cache.push(cols);
+        };
+
+        if mode.is_train() {
+            // Each item's column matrix is kept for backward, so the
+            // per-item buffers exist anyway; fill them in parallel.
+            let mut cols_cache: Vec<Vec<f32>> = (0..n).map(|_| vec![0.0f32; ckk * l]).collect();
+            {
+                let out_data = out.data_mut();
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out_data
+                    .chunks_mut(item_out)
+                    .zip(cols_cache.iter_mut())
+                    .enumerate()
+                    .map(|(ni, (out_slice, cols))| {
+                        let run_item = &run_item;
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                            run_item(&in_data[ni * item_in..(ni + 1) * item_in], cols, out_slice);
+                        });
+                        task
+                    })
+                    .collect();
+                antidote_par::run_scoped(tasks);
             }
+            self.cache = Some(ConvCache {
+                cols: cols_cache,
+                input_hw: (h, w),
+                out_hw: (hout, wout),
+            });
+        } else {
+            // Inference: one scratch `cols` buffer per task, reused across
+            // the task's batch items (the former code allocated a fresh
+            // `ckk·l` buffer per item). An eval forward must NOT touch
+            // `self.cache` — wiping it here silently broke the
+            // train-forward → eval-forward → backward interleaving a
+            // mid-epoch validation pass produces.
+            let ranges = antidote_par::fixed_ranges(n, antidote_par::current_threads());
+            let mut out_chunks = Vec::with_capacity(ranges.len());
+            let mut rest = out.data_mut();
+            for range in &ranges {
+                let (head, tail) = rest.split_at_mut(range.len() * item_out);
+                out_chunks.push(head);
+                rest = tail;
+            }
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                .iter()
+                .cloned()
+                .zip(out_chunks)
+                .map(|(range, out_chunk)| {
+                    let run_item = &run_item;
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let mut cols = vec![0.0f32; ckk * l];
+                        for (slot, ni) in range.enumerate() {
+                            run_item(
+                                &in_data[ni * item_in..(ni + 1) * item_in],
+                                &mut cols,
+                                &mut out_chunk[slot * item_out..(slot + 1) * item_out],
+                            );
+                        }
+                    });
+                    task
+                })
+                .collect();
+            antidote_par::run_scoped(tasks);
         }
-        self.cache = mode.is_train().then_some(ConvCache {
-            cols: cols_cache,
-            input_hw: (h, w),
-            out_hw: (hout, wout),
-        });
         out
     }
 
@@ -212,22 +286,77 @@ impl Layer for Conv2d {
         let c = self.in_channels;
         let ckk = c * k * k;
         let l = hout * wout;
+        let geom = self.geom;
+        let item_in = c * h * w;
+        let item_go = co * l;
         let mut grad_in = Tensor::zeros([n, c, h, w]);
-        let w_data = self.weight.value.data().to_vec();
-        for ni in 0..n {
-            let go = &grad_out.data()[ni * co * l..(ni + 1) * co * l];
-            let cols = &cache.cols[ni];
-            // dW += dY · colsᵀ   (Cout×L)·(L×CKK)
-            matmul_a_bt(go, cols, self.weight.grad.data_mut(), co, l, ckk);
-            // db += rowsum(dY)
-            for (ci, gb) in self.bias.grad.data_mut().iter_mut().enumerate() {
-                *gb += go[ci * l..(ci + 1) * l].iter().sum::<f32>();
+        // Split borrow: the weight *value* (read by dcols) and the weight
+        // *grad* (accumulated below) are distinct fields, so the former
+        // full-tensor `.to_vec()` clone per call is unnecessary.
+        let w_data = self.weight.value.data();
+        let go_data = grad_out.data();
+        let cols_cache = &cache.cols;
+
+        // Batch items are partitioned by `fixed_ranges(n, GRAD_PARTIAL_PARTS)`
+        // — a function of `n` alone — and each part accumulates weight/bias
+        // gradient partials; parts then reduce into the parameter grads in
+        // part order, so the additions are identical at every thread budget.
+        let ranges = antidote_par::fixed_ranges(n, GRAD_PARTIAL_PARTS);
+        let parts = ranges.len();
+        let mut w_parts = vec![0.0f32; parts * co * ckk];
+        let mut b_parts = vec![0.0f32; parts * co];
+        {
+            let mut gi_chunks = Vec::with_capacity(parts);
+            let mut rest = grad_in.data_mut();
+            for range in &ranges {
+                let (head, tail) = rest.split_at_mut(range.len() * item_in);
+                gi_chunks.push(head);
+                rest = tail;
             }
-            // dcols = Wᵀ · dY    (CKK×Cout)·(Cout×L)
-            let mut grad_cols = vec![0.0f32; ckk * l];
-            matmul_at_b(&w_data, go, &mut grad_cols, co, ckk, l);
-            let gi = &mut grad_in.data_mut()[ni * c * h * w..(ni + 1) * c * h * w];
-            col2im(&grad_cols, c, h, w, self.geom, gi);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+                .iter()
+                .cloned()
+                .zip(gi_chunks)
+                .zip(w_parts.chunks_mut(co * ckk).zip(b_parts.chunks_mut(co)))
+                .map(|((range, gi_chunk), (w_part, b_part))| {
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        // One dcols scratch per part, reused across items
+                        // (the former code allocated `ckk·l` per item).
+                        let mut grad_cols = vec![0.0f32; ckk * l];
+                        for (slot, ni) in range.enumerate() {
+                            let go = &go_data[ni * item_go..(ni + 1) * item_go];
+                            let cols = &cols_cache[ni];
+                            // dW_part += dY · colsᵀ   (Cout×L)·(L×CKK)
+                            matmul_a_bt(go, cols, w_part, co, l, ckk);
+                            // db_part += rowsum(dY)
+                            for (ci, gb) in b_part.iter_mut().enumerate() {
+                                *gb += go[ci * l..(ci + 1) * l].iter().sum::<f32>();
+                            }
+                            // dcols = Wᵀ · dY    (CKK×Cout)·(Cout×L)
+                            if slot > 0 {
+                                grad_cols.fill(0.0);
+                            }
+                            matmul_at_b(w_data, go, &mut grad_cols, co, ckk, l);
+                            let gi = &mut gi_chunk[slot * item_in..(slot + 1) * item_in];
+                            col2im(&grad_cols, c, h, w, geom, gi);
+                        }
+                    });
+                    task
+                })
+                .collect();
+            antidote_par::run_scoped(tasks);
+        }
+        let wg = self.weight.grad.data_mut();
+        for part in w_parts.chunks(co * ckk) {
+            for (g, &p) in wg.iter_mut().zip(part) {
+                *g += p;
+            }
+        }
+        let bg = self.bias.grad.data_mut();
+        for part in b_parts.chunks(co) {
+            for (g, &p) in bg.iter_mut().zip(part) {
+                *g += p;
+            }
         }
         grad_in
     }
@@ -334,6 +463,36 @@ mod tests {
         conv.backward(&Tensor::ones(y.dims().to_vec()));
         // d(sum y)/db_c = N * Hout * Wout = 2*16
         assert_eq!(conv.bias().grad.data(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn eval_forward_preserves_training_cache() {
+        // Regression: a mid-epoch validation pass (eval-mode forward
+        // between forward(Train) and backward) used to wipe the training
+        // cache and panic the next backward. The eval forward must leave
+        // the cache — and therefore the gradients — untouched.
+        let mut r = rng();
+        let w = init::uniform(&mut r, &[3, 2, 3, 3], -1.0, 1.0);
+        let b = init::uniform(&mut r, &[3], -0.1, 0.1);
+        let x = init::uniform(&mut r, &[2, 2, 6, 6], -1.0, 1.0);
+        let x_val = init::uniform(&mut r, &[4, 2, 6, 6], -1.0, 1.0);
+
+        let mut plain = Conv2d::from_parts(w.clone(), b.clone(), 1, 1);
+        let y = plain.forward(&x, Mode::Train);
+        let go = Tensor::ones(y.dims().to_vec());
+        let gi_plain = plain.backward(&go);
+
+        let mut interleaved = Conv2d::from_parts(w, b, 1, 1);
+        interleaved.forward(&x, Mode::Train);
+        interleaved.forward(&x_val, Mode::Eval); // must not clobber the cache
+        let gi = interleaved.backward(&go); // panicked before the fix
+        assert_eq!(gi.data(), gi_plain.data(), "input grads must be unaffected");
+        assert_eq!(
+            interleaved.weight().grad.data(),
+            plain.weight().grad.data(),
+            "weight grads must be unaffected"
+        );
+        assert_eq!(interleaved.bias().grad.data(), plain.bias().grad.data());
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! accumulate whose input channel or input spatial column is masked, and
 //! counts the MACs actually performed so FLOPs reductions are *measured*,
 //! not just modeled.
+//!
+//! Batch items are independent (disjoint output slices, per-item MAC
+//! tallies summed in item order), so [`masked_conv2d`] fans them out
+//! over the `antidote_par` pool with bit-exact results at every
+//! `ANTIDOTE_THREADS` budget.
 
 use antidote_tensor::conv::ConvGeometry;
 use antidote_tensor::Tensor;
@@ -166,22 +171,27 @@ pub fn masked_conv2d(
     let plane_out = hout * wout;
     let mut out = Tensor::zeros([n, cout, hout, wout]);
     let wdata = weight.data();
-    let mut macs = 0u64;
+    let in_data = input.data();
 
-    for (ni, mask) in masks.iter().enumerate() {
+    // One batch item: gather kept taps per output window, dot against
+    // every filter. Each item owns a disjoint output slice and its own
+    // MAC tally, so items run in parallel with bit-exact results.
+    let run_item = |mask: &FeatureMask, img: &[f32], out_item: &mut [f32]| -> u64 {
         let kept_channels: Vec<usize> = (0..cin).filter(|&c| mask.keeps_channel(c)).collect();
-        let img = &input.data()[ni * cin * plane_in..(ni + 1) * cin * plane_in];
-        let out_item =
-            &mut out.data_mut()[ni * cout * plane_out..(ni + 1) * cout * plane_out];
         if let Some(b) = bias {
             for co in 0..cout {
                 out_item[co * plane_out..(co + 1) * plane_out].fill(b.data()[co]);
             }
         }
+        // The serve engine's inner loop: one taps buffer per item,
+        // cleared per window — the former per-output-pixel `Vec`
+        // allocation dominated small-batch serving profiles.
+        let mut taps: Vec<(usize, f32)> = Vec::with_capacity(kept_channels.len() * k * k);
+        let mut macs = 0u64;
         for oy in 0..hout {
             for ox in 0..wout {
                 // Gather the kept taps of this window once; reuse for all Cout.
-                let mut taps: Vec<(usize, f32)> = Vec::with_capacity(kept_channels.len() * k * k);
+                taps.clear();
                 for &ci in &kept_channels {
                     let plane = &img[ci * plane_in..(ci + 1) * plane_in];
                     for ky in 0..k {
@@ -214,7 +224,29 @@ pub fn masked_conv2d(
                 macs += (taps.len() * cout) as u64;
             }
         }
+        macs
+    };
+
+    let mut item_macs = vec![0u64; n];
+    {
+        let out_data = out.data_mut();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out_data
+            .chunks_mut(cout * plane_out)
+            .zip(masks.iter())
+            .zip(item_macs.iter_mut())
+            .enumerate()
+            .map(|(ni, ((out_item, mask), macs_slot))| {
+                let run_item = &run_item;
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let img = &in_data[ni * cin * plane_in..(ni + 1) * cin * plane_in];
+                    *macs_slot = run_item(mask, img, out_item);
+                });
+                task
+            })
+            .collect();
+        antidote_par::run_scoped(tasks);
     }
+    let macs: u64 = item_macs.iter().sum();
     counter.add(macs);
     if antidote_obs::enabled() {
         antidote_obs::counter_add("nn.masked_conv2d.macs", macs);

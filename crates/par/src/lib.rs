@@ -1,0 +1,494 @@
+//! # antidote-par
+//!
+//! A std-only persistent worker pool providing **scoped intra-op
+//! parallelism** for the compute kernels of the workspace (GEMM, im2col
+//! batch loops, the masked-convolution executor). Like every other crate
+//! here it builds offline with no external dependencies — there is no
+//! rayon, just `std::thread` + `Mutex`/`Condvar`.
+//!
+//! ## Model
+//!
+//! The pool executes batches of *scoped tasks*: [`run_scoped`] takes a
+//! vector of `FnOnce` closures that may borrow from the caller's stack
+//! (e.g. disjoint `chunks_mut` of an output buffer), runs them on the
+//! pool plus the calling thread, and **returns only when every task has
+//! finished** — which is what makes the borrow sound. [`parallel_for`]
+//! is a convenience wrapper for shared-read index-range loops.
+//!
+//! ## Determinism
+//!
+//! The pool never changes *what* a task computes, only *where* it runs.
+//! Callers keep results bit-exact across thread counts by making each
+//! task own a disjoint output region whose contents depend only on the
+//! task's index range (see `antidote_tensor::linalg` for the GEMM
+//! row-block argument). `ANTIDOTE_THREADS=1` is an exact sequential
+//! fallback: tasks run inline on the caller, in order, with no pool
+//! machinery at all.
+//!
+//! ## Configuration
+//!
+//! - `ANTIDOTE_THREADS` (parsed through [`antidote_obs::env`], warn-and-
+//!   ignore on malformed values): intra-op thread budget. Defaults to
+//!   [`std::thread::available_parallelism`]; `1` disables the pool.
+//! - [`set_threads`] overrides the budget at runtime (benchmarks and the
+//!   thread-parity property tests toggle it mid-process).
+//!
+//! ## Observability
+//!
+//! With `antidote_obs` enabled the pool maintains gauges
+//! `par.pool.threads` (current budget), `par.pool.busy` (tasks executing
+//! right now) and `par.pool.queue_depth`, and times each fan-out under
+//! the `par.run_scoped` span. Disabled, the only cost is one relaxed
+//! atomic load per fan-out.
+//!
+//! ## Nesting
+//!
+//! A task that itself calls [`run_scoped`] or [`parallel_for`] runs the
+//! nested batch **inline** (sequentially on the executing thread). This
+//! keeps the pool deadlock-free by construction — no pool thread ever
+//! blocks waiting for another task — and matches how intra-op pools are
+//! used here: batch-level parallelism in `Conv2d::forward` outranks
+//! GEMM-row parallelism, and a single-item batch falls through to
+//! GEMM-row parallelism because single-task batches never enter the
+//! pool.
+//!
+//! # Examples
+//!
+//! ```
+//! let mut out = vec![0u64; 1024];
+//! let tasks: Vec<Box<dyn FnOnce() + Send>> = out
+//!     .chunks_mut(256)
+//!     .enumerate()
+//!     .map(|(i, chunk)| {
+//!         let f: Box<dyn FnOnce() + Send> = Box::new(move || {
+//!             for (j, slot) in chunk.iter_mut().enumerate() {
+//!                 *slot = (i * 256 + j) as u64;
+//!             }
+//!         });
+//!         f
+//!     })
+//!     .collect();
+//! antidote_par::run_scoped(tasks);
+//! assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased task once its scope lifetime has been certified by
+/// [`run_scoped`] (which blocks until completion, keeping borrows live).
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state shared between one [`run_scoped`] call and the pool.
+struct JobGroup {
+    /// Tasks not yet finished (queued or executing).
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// Set if any task panicked; the submitting call re-panics.
+    panicked: AtomicBool,
+}
+
+/// State shared by every worker and submitting thread.
+struct Shared {
+    queue: Mutex<VecDeque<(StaticTask, Arc<JobGroup>)>>,
+    work: Condvar,
+    busy: AtomicUsize,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Workers spawned so far (grow-only; workers never exit).
+    spawned: Mutex<usize>,
+}
+
+/// Current thread budget; 0 means "not yet initialized from the
+/// environment".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool workers and on any thread currently executing a pool
+    /// task; nested fan-outs from such threads run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            busy: AtomicUsize::new(0),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Recovers a poisoned lock: a panicking task must not take the pool
+/// down with it (panics are re-raised on the submitting thread instead).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Number of hardware threads visible to the process (≥ 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The current intra-op thread budget.
+///
+/// First call resolves it: `ANTIDOTE_THREADS` if set and positive
+/// (malformed values warn and are ignored, via [`antidote_obs::env`]),
+/// otherwise [`available`]. Always ≥ 1.
+pub fn current_threads() -> usize {
+    let t = THREADS.load(Ordering::Acquire);
+    if t != 0 {
+        return t;
+    }
+    let resolved = antidote_obs::env::positive::<usize>("ANTIDOTE_THREADS")
+        .unwrap_or_else(available)
+        .max(1);
+    // Racing first calls resolve the same environment; either store wins.
+    let _ = THREADS.compare_exchange(0, resolved, Ordering::AcqRel, Ordering::Acquire);
+    let t = THREADS.load(Ordering::Acquire);
+    ensure_workers(t);
+    t
+}
+
+/// Overrides the intra-op thread budget at runtime (clamped to ≥ 1).
+///
+/// Growing the budget spawns workers as needed; shrinking it leaves the
+/// extra workers idle (they cost nothing while the queue is empty).
+/// `set_threads(1)` restores the exact sequential fallback.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    THREADS.store(n, Ordering::Release);
+    ensure_workers(n);
+    if antidote_obs::enabled() {
+        antidote_obs::gauge_set("par.pool.threads", n as f64);
+    }
+}
+
+/// Spawns workers until `target_threads - 1` exist (the submitting
+/// thread is the final executor).
+fn ensure_workers(target_threads: usize) {
+    let want = target_threads.saturating_sub(1);
+    let p = pool();
+    let mut spawned = lock(&p.spawned);
+    while *spawned < want {
+        let shared = Arc::clone(&p.shared);
+        let id = *spawned;
+        std::thread::Builder::new()
+            .name(format!("antidote-par-{id}"))
+            .spawn(move || worker_loop(&shared))
+            .expect("antidote-par: failed to spawn worker thread");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|f| f.set(true));
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.work.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_task(shared, job);
+    }
+}
+
+/// Executes one queued task, maintaining the busy gauge, the panic flag,
+/// and the group's completion count.
+fn run_task(shared: &Shared, (task, group): (StaticTask, Arc<JobGroup>)) {
+    let was_in_pool = IN_POOL.with(|f| f.replace(true));
+    let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+    if antidote_obs::enabled() {
+        antidote_obs::gauge_set("par.pool.busy", busy as f64);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+    let busy = shared.busy.fetch_sub(1, Ordering::Relaxed) - 1;
+    if antidote_obs::enabled() {
+        antidote_obs::gauge_set("par.pool.busy", busy as f64);
+    }
+    IN_POOL.with(|f| f.set(was_in_pool));
+    if result.is_err() {
+        group.panicked.store(true, Ordering::Relaxed);
+    }
+    let mut pending = lock(&group.pending);
+    *pending -= 1;
+    if *pending == 0 {
+        group.done.notify_all();
+    }
+}
+
+/// Runs every task to completion, using the pool plus the calling
+/// thread, then returns.
+///
+/// Tasks may borrow from the caller's stack (the call blocks until all
+/// of them finish, so the borrows outlive every execution). Disjoint
+/// mutable access is expressed safely on the caller side with
+/// `split_at_mut`/`chunks_mut`.
+///
+/// Runs **inline, in order, on the caller** — the exact sequential
+/// fallback — when any of these hold: the budget
+/// ([`current_threads`]) is 1, there is at most one task, or the caller
+/// is itself a pool task (see the crate docs on nesting).
+///
+/// # Panics
+///
+/// If a task panics, the panic is captured and re-raised here (after all
+/// tasks of the batch have settled), so a crashing kernel fails the
+/// caller rather than poisoning a detached worker.
+pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || IN_POOL.with(Cell::get) || current_threads() <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let _span = antidote_obs::span("par.run_scoped");
+    let group = Arc::new(JobGroup {
+        pending: Mutex::new(tasks.len()),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let shared = &pool().shared;
+    {
+        let mut q = lock(&shared.queue);
+        for task in tasks {
+            // SAFETY: this function does not return until `pending`
+            // reaches zero, i.e. until every queued task has run to
+            // completion (or panicked, which also decrements `pending`).
+            // Every borrow captured by the tasks therefore strictly
+            // outlives every use on the worker threads, so erasing the
+            // scope lifetime to 'static for the queue's benefit is sound.
+            let task: StaticTask = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, StaticTask>(task)
+            };
+            q.push_back((task, Arc::clone(&group)));
+        }
+        if antidote_obs::enabled() {
+            antidote_obs::gauge_set("par.pool.queue_depth", q.len() as f64);
+        }
+    }
+    shared.work.notify_all();
+    // The caller participates: drain the queue (its own tasks and any
+    // other in-flight batch's) until empty, then wait for stragglers.
+    loop {
+        let job = lock(&shared.queue).pop_front();
+        match job {
+            Some(job) => run_task(shared, job),
+            None => break,
+        }
+    }
+    let mut pending = lock(&group.pending);
+    while *pending > 0 {
+        pending = group.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(pending);
+    if group.panicked.load(Ordering::Relaxed) {
+        panic!("antidote-par: a parallel task panicked (see worker backtrace above)");
+    }
+}
+
+/// Splits `0..n` into contiguous ranges and runs `body` over them in
+/// parallel, blocking until all complete.
+///
+/// Chunk sizes are a multiple of `align` (callers whose per-index work
+/// depends on block grouping — the 4-row GEMM microkernels — pass their
+/// group size so blocks land identically for every thread count; pass 1
+/// when indices are fully independent). With a budget of 1 this is
+/// exactly `body(0..n)`.
+pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, align: usize, body: F) {
+    if n == 0 {
+        return;
+    }
+    let align = align.max(1);
+    let threads = if IN_POOL.with(Cell::get) { 1 } else { current_threads() };
+    let chunk = n.div_ceil(threads).next_multiple_of(align);
+    if threads <= 1 || chunk >= n {
+        body(0..n);
+        return;
+    }
+    let body = &body;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n.div_ceil(chunk))
+        .map(|i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(n);
+            let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || body(start..end));
+            f
+        })
+        .collect();
+    run_scoped(tasks);
+}
+
+/// Deterministically partitions `n` items into at most `max_parts`
+/// contiguous ranges whose boundaries depend **only on `n` and
+/// `max_parts`** — never on the thread budget.
+///
+/// Used where per-part partial results are reduced in part order (conv
+/// weight gradients): a thread-count-independent partition keeps the
+/// floating-point reduction tree, and therefore the result bits,
+/// identical from `ANTIDOTE_THREADS=1` to any other budget.
+pub fn fixed_ranges(n: usize, max_parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = max_parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts; // first `extra` parts get one more item
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-global thread budget.
+    fn budget_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn run_scoped_fills_disjoint_chunks() {
+        let _guard = budget_lock();
+        set_threads(4);
+        let mut out = vec![0usize; 1000];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(123)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 123 + j;
+                    }
+                });
+                f
+            })
+            .collect();
+        run_scoped(tasks);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let _guard = budget_lock();
+        set_threads(4);
+        let hits: Vec<AtomicUsize> = (0..997).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(hits.len(), 4, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_budget_runs_inline_in_order() {
+        let _guard = budget_lock();
+        set_threads(1);
+        let log = Mutex::new(Vec::new());
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let log = &log;
+                let f: Box<dyn FnOnce() + Send + '_> =
+                    Box::new(move || log.lock().unwrap().push(i));
+                f
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        set_threads(4);
+    }
+
+    #[test]
+    fn nested_fan_out_is_inline_and_complete() {
+        let _guard = budget_lock();
+        set_threads(4);
+        let outer: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(outer.len(), 1, |range| {
+            for i in range {
+                // Nested call: must run inline without deadlock.
+                parallel_for(3, 1, |inner| {
+                    for _ in inner {
+                        outer[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(outer.iter().all(|h| h.load(Ordering::Relaxed) == 3));
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let _guard = budget_lock();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                    });
+                    f
+                })
+                .collect();
+            run_scoped(tasks);
+        });
+        assert!(result.is_err(), "panic inside a task must reach the caller");
+    }
+
+    #[test]
+    fn fixed_ranges_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 8, 9, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 100] {
+                let ranges = fixed_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty parts");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers 0..{n}");
+                assert!(ranges.len() <= parts.max(1));
+                if n > 0 {
+                    assert!(ranges.len() == parts.min(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let _guard = budget_lock();
+        set_threads(0);
+        assert_eq!(current_threads(), 1);
+        set_threads(4);
+        assert_eq!(current_threads(), 4);
+    }
+}

@@ -21,6 +21,16 @@
 //! requests have been collected, whichever is first. Waiting overlaps
 //! with other workers' compute, which is why multiple workers raise
 //! throughput even on a single core.
+//!
+//! **Interplay with intra-op threads.** Below the replica level, the
+//! conv/GEMM kernels a worker executes fan out over the shared
+//! `antidote-par` pool (`ANTIDOTE_THREADS`, see DESIGN.md §10).
+//! Replica workers are ordinary threads — not pool tasks — so their
+//! kernels *do* use the pool; when `ANTIDOTE_SERVE_WORKERS` already
+//! saturates the machine, set `ANTIDOTE_THREADS=1` to keep the engine
+//! purely throughput-oriented, or lower the worker count and let
+//! intra-op parallelism cut per-request latency instead. Results are
+//! bit-identical either way.
 
 use crate::batch::MixedBatchPruner;
 use crate::budget::{BudgetError, BudgetMapper, BudgetPlan};

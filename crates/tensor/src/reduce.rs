@@ -141,6 +141,13 @@ pub fn sum_rows(m: &Tensor) -> Tensor {
 /// order. Ties resolve to the lower index — this makes the paper's `topk`
 /// (Eq. 3–4) deterministic.
 ///
+/// Ordering uses [`f32::total_cmp`], so it is a true total order even
+/// for pathological inputs: NaN attention coefficients (e.g. from an
+/// overflowed activation) rank *above* `+∞`, and `-0.0` ranks below
+/// `+0.0`. The previous `partial_cmp(..).unwrap_or(Equal)` mapped every
+/// NaN comparison to "equal", which made the sort order — and therefore
+/// the pruning mask — depend on unspecified sort internals.
+///
 /// # Panics
 ///
 /// Panics if `k > values.len()`.
@@ -151,13 +158,8 @@ pub fn topk_indices(values: &[f32], k: usize) -> Vec<usize> {
         values.len()
     );
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    // Total order: by value desc, then index asc (stable, NaN-free inputs).
-    idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // Total order: by value desc (NaN greatest), then index asc.
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }
@@ -234,6 +236,20 @@ mod tests {
     #[should_panic(expected = "exceeds length")]
     fn topk_overflow_panics() {
         topk_indices(&[1.0], 2);
+    }
+
+    #[test]
+    fn topk_nan_inputs_are_deterministic() {
+        // total_cmp ranks NaN above +inf; ties among NaNs resolve to the
+        // lower index. Pins the exact mask an overflowed attention map
+        // produces, run after run.
+        let v = [0.5, f32::NAN, f32::INFINITY, f32::NAN, -1.0, 2.0];
+        assert_eq!(topk_indices(&v, 4), vec![1, 3, 2, 5]);
+        // Full ordering, including the finite tail.
+        assert_eq!(topk_indices(&v, 6), vec![1, 3, 2, 5, 0, 4]);
+        // Signed zero: -0.0 sorts below +0.0, again deterministically.
+        let z = [-0.0f32, 0.0, -0.0];
+        assert_eq!(topk_indices(&z, 3), vec![1, 0, 2]);
     }
 
     #[test]

@@ -4,7 +4,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+# The suite must pass at the exact sequential fallback AND at a fixed
+# multi-thread budget (results are bit-identical by design; the parity
+# property tests enforce it, these two runs make sure nothing is
+# budget-sensitive).
+ANTIDOTE_THREADS=1 cargo test -q
+ANTIDOTE_THREADS=4 cargo test -q
 cargo clippy --workspace -- -D warnings
 # Serving-path regression gate: deterministic closed-loop load; fails on
 # any dropped request, unexpected error, or budget overshoot.
@@ -14,3 +19,7 @@ cargo run --release -p antidote-bench --bin serve_bench -- --smoke
 # internally consistent (time%/MACs% sum to 100, attribution exact).
 cargo run --release -p antidote-bench --bin profile_report -- --overhead-smoke
 cargo run --release -p antidote-bench --bin profile_report
+# Intra-op parallelism gate: bit-exact thread parity (GEMM + conv
+# fwd/bwd + masked executor) and >=1.5x GEMM speedup at 4 threads
+# (speedup asserted only on hosts with >=4 hardware threads).
+cargo run --release -p antidote-bench --bin par_bench -- --smoke
