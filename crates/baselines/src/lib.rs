@@ -4,10 +4,10 @@
 //! AntiDote compares against in Table I:
 //!
 //! - ℓ1-norm pruning (Li et al., "Pruning Filters for Efficient
-//!   ConvNets" [8]);
-//! - first-order Taylor pruning (Molchanov et al. [19]);
-//! - geometric-median pruning (He et al., CVPR 2019 [20]);
-//! - functionality-oriented pruning (Qin et al., BMVC 2019 [21]).
+//!   ConvNets" \[8\]);
+//! - first-order Taylor pruning (Molchanov et al. \[19\]);
+//! - geometric-median pruning (He et al., CVPR 2019 \[20\]);
+//! - functionality-oriented pruning (Qin et al., BMVC 2019 \[21\]).
 //!
 //! The paper only *cites* these methods' numbers; this crate actually
 //! re-runs them on the same substrate, datasets and FLOPs accounting as

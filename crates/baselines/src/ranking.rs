@@ -15,15 +15,15 @@ use std::collections::BTreeMap;
 /// Which static-pruning baseline ranks the filters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StaticMethod {
-    /// ℓ1-norm filter pruning (Li et al. [8]): score = Σ|W_filter|.
+    /// ℓ1-norm filter pruning (Li et al. \[8\]): score = Σ|W_filter|.
     L1,
-    /// First-order Taylor pruning (Molchanov et al. [19]):
+    /// First-order Taylor pruning (Molchanov et al. \[19\]):
     /// score = |Σ W ⊙ ∂L/∂W| per filter, accumulated over data.
     Taylor,
-    /// Geometric-median pruning (He et al. [20]): score = Σ_j ‖W_i − W_j‖
+    /// Geometric-median pruning (He et al. \[20\]): score = Σ_j ‖W_i − W_j‖
     /// (filters closest to the layer's geometric median are redundant).
     GeometricMedian,
-    /// Functionality-oriented pruning (Qin et al. [21]): score = variance
+    /// Functionality-oriented pruning (Qin et al. \[21\]): score = variance
     /// of the filter's class-conditional mean activations (filters that
     /// discriminate classes are functional).
     FunctionalityOriented,

@@ -13,7 +13,9 @@
 //!
 //! - engine: `ANTIDOTE_SERVE_WORKERS`, `ANTIDOTE_SERVE_MAX_BATCH`,
 //!   `ANTIDOTE_SERVE_MAX_WAIT_MS`, `ANTIDOTE_SERVE_QUEUE_CAP`,
-//!   `ANTIDOTE_SERVE_DEADLINE_MS` (see `ServeConfig::from_env`);
+//!   `ANTIDOTE_SERVE_DEADLINE_MS`, `ANTIDOTE_SERVE_QUANT`
+//!   (`off`/`int8` — int8-quantized replicas; see
+//!   `ServeConfig::from_env`);
 //! - load: `ANTIDOTE_SERVE_BENCH_CLIENTS`,
 //!   `ANTIDOTE_SERVE_BENCH_REQUESTS` (per client),
 //!   `ANTIDOTE_SERVE_BENCH_SEED`.
@@ -24,10 +26,12 @@
 //! the same workload runs twice, on 1 worker and on the configured
 //! worker count, and reports the throughput speedup.
 
+use antidote_core::quant::{calibrate, CalibrationMethod};
 use antidote_core::PruneSchedule;
-use antidote_models::{Vgg, VggConfig};
+use antidote_data::Split;
+use antidote_models::{QuantizedVgg, Vgg, VggConfig};
 use antidote_serve::{
-    InferRequest, ModelFactory, ServeConfig, ServeEngine, ServeMetrics,
+    InferRequest, ModelFactory, QuantMode, ServeConfig, ServeEngine, ServeMetrics,
 };
 use antidote_tensor::Tensor;
 use rand::rngs::SmallRng;
@@ -42,11 +46,42 @@ use std::time::Duration;
 const IMAGE_SIZE: usize = 64;
 const CLASSES: usize = 4;
 
-fn factory(seed: u64) -> ModelFactory {
-    Arc::new(move |_worker| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(IMAGE_SIZE, CLASSES)))
-    })
+fn fresh_vgg(seed: u64) -> Vgg {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Vgg::new(&mut rng, VggConfig::vgg_tiny(IMAGE_SIZE, CLASSES))
+}
+
+/// Replica factory honoring `ANTIDOTE_SERVE_QUANT`: fp32 replicas by
+/// default, int8 `QuantizedVgg` replicas when the mode says so. Int8
+/// calibration runs once up front on a deterministic synthetic split
+/// matching the load generator's input distribution, so every worker
+/// quantizes against identical scales (replicas must stay identical).
+fn factory(seed: u64, quant: QuantMode) -> ModelFactory {
+    match quant {
+        QuantMode::Off => Arc::new(move |_worker| Box::new(fresh_vgg(seed))),
+        QuantMode::Int8 => {
+            let calib_split = Split {
+                images: Tensor::from_fn([8, 3, IMAGE_SIZE, IMAGE_SIZE], |i| {
+                    (i as f32 * 0.379).sin() * 0.5
+                }),
+                labels: vec![0; 8],
+            };
+            let calib = calibrate(
+                &mut fresh_vgg(seed),
+                &calib_split,
+                4,
+                2,
+                CalibrationMethod::MinMax,
+            );
+            Arc::new(move |_worker| {
+                Box::new(QuantizedVgg::from_vgg(
+                    &fresh_vgg(seed),
+                    calib.input_scale,
+                    &calib.tap_scales,
+                ))
+            })
+        }
+    }
 }
 
 use antidote_obs::env::parse_or as parse_env;
@@ -80,7 +115,8 @@ fn budget_for(tier: usize, floor: f64, dense: f64) -> Option<f64> {
 }
 
 fn run_load(cfg: ServeConfig, spec: LoadSpec) -> LoadOutcome {
-    let engine = ServeEngine::start(cfg, factory(spec.seed)).expect("engine start");
+    let quant = cfg.quant;
+    let engine = ServeEngine::start(cfg, factory(spec.seed, quant)).expect("engine start");
     let handle = engine.handle();
     let floor = handle.floor_macs();
     let dense = handle.dense_macs();

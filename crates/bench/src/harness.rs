@@ -117,7 +117,7 @@ pub struct MeasuredEval {
     pub latency: LatencySummary,
 }
 
-/// [`evaluate_measured`]-equivalent that also times every batch's
+/// [`antidote_core::trainer::evaluate_measured`]-equivalent that also times every batch's
 /// masked forward pass, summarizing the distribution as percentiles
 /// instead of a bare mean — a mean hides the tail that serving SLOs
 /// care about.

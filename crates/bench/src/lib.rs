@@ -13,6 +13,7 @@
 //! | Serving throughput/latency under budgets | `… --bin serve_bench --release` |
 //! | Per-layer time/MAC profile (obs-backed) | `… --bin profile_report --release` |
 //! | Intra-op thread parity + GEMM speedup | `… --bin par_bench --release` |
+//! | Int8 quantization accuracy + GEMM byte/wall gates | `… --bin quant_bench --release` |
 //!
 //! plus Criterion kernel benches (`cargo bench -p antidote-bench`):
 //! `masked_conv`, `table1_flops`, `fig2_criteria`, `fig3_sensitivity`,

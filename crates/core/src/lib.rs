@@ -19,7 +19,9 @@
 //! - [`analysis`]: the Fig. 2 criterion comparison and Fig. 3 block
 //!   sensitivity sweeps;
 //! - [`settings`]: the exact pruning schedules quoted in Sec. V;
-//! - [`trainer`]: shared SGD/cosine training and evaluation loops.
+//! - [`trainer`]: shared SGD/cosine training and evaluation loops;
+//! - [`quant`]: post-training int8 calibration for the quantized
+//!   serving path (`ANTIDOTE_SERVE_QUANT=int8`).
 //!
 //! # Example: dynamic pruning end to end
 //!
@@ -49,6 +51,7 @@ pub mod flops;
 pub mod mask;
 pub mod profile;
 mod pruner;
+pub mod quant;
 pub mod recovery;
 pub mod report;
 pub mod schedule_search;

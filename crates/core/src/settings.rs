@@ -142,7 +142,7 @@ pub fn proposed_settings() -> Vec<PaperSetting> {
 }
 
 /// A static-baseline row of Table I (numbers the paper cites from
-/// [20]/[21]; we re-run the methods ourselves at repro scale).
+/// \[20\]/\[21\]; we re-run the methods ourselves at repro scale).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PaperBaselineRow {
     /// Workload the row belongs to.

@@ -31,6 +31,7 @@
 mod config;
 mod network;
 mod profiled;
+mod quantized;
 mod resnet;
 pub mod shrunk;
 mod tap;
@@ -38,6 +39,7 @@ mod vgg;
 
 pub use config::{ConvShape, ResNetConfig, VggBlock, VggConfig};
 pub use network::Network;
+pub use quantized::QuantizedVgg;
 pub use resnet::{ResNet, ShrunkResNet};
 pub use shrunk::ShrunkVgg;
 pub use tap::{masks_to_tensor, FeatureHook, NoopHook, TapId, TapInfo};

@@ -17,6 +17,7 @@
 
 use antidote_nn::layers::Conv2d;
 use antidote_nn::masked::{masked_conv2d, FeatureMask, MacCounter};
+use antidote_nn::quant::{quantized_masked_conv2d, QuantizedConv2d};
 use antidote_tensor::Tensor;
 
 /// Runs `conv` through the masked executor, attributing time and MACs
@@ -38,6 +39,29 @@ pub(crate) fn profiled_masked_conv(
         masks,
         counter,
     );
+    if antidote_obs::enabled() {
+        antidote_obs::counter_add(
+            &format!("fwd.layer{layer_idx:02}.macs"),
+            counter.total() - before,
+        );
+    }
+    out
+}
+
+/// Int8 twin of [`profiled_masked_conv`]: routes through the quantized
+/// masked executor under the same `fwd.layerNN` span and
+/// `fwd.layerNN.macs` counter, so profiling snapshots of a quantized
+/// serving path join against analytic FLOPs exactly like the fp32 path.
+pub(crate) fn profiled_quantized_conv(
+    layer_idx: usize,
+    input: &Tensor,
+    conv: &QuantizedConv2d,
+    masks: &[FeatureMask],
+    counter: &mut MacCounter,
+) -> Tensor {
+    let _span = antidote_obs::layer_span("fwd", layer_idx);
+    let before = counter.total();
+    let out = quantized_masked_conv2d(input, conv, masks, counter);
     if antidote_obs::enabled() {
         antidote_obs::counter_add(
             &format!("fwd.layer{layer_idx:02}.macs"),

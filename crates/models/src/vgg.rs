@@ -12,7 +12,7 @@ use rand::Rng;
 
 /// One element of the flat VGG op sequence.
 #[derive(Debug)]
-enum Op {
+pub(crate) enum Op {
     Conv(Conv2d),
     Bn(BatchNorm2d),
     Relu(Relu),
@@ -43,9 +43,9 @@ enum Op {
 /// ```
 #[derive(Debug)]
 pub struct Vgg {
-    config: VggConfig,
-    ops: Vec<Op>,
-    taps: Vec<TapInfo>,
+    pub(crate) config: VggConfig,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) taps: Vec<TapInfo>,
     /// Op index of the conv producing each tap, in tap order.
     tap_conv_ops: Vec<usize>,
 }
@@ -185,7 +185,7 @@ impl Vgg {
 /// pooled position stays kept if *any* position of its window was kept
 /// (all-masked windows pool to exactly 0 on post-ReLU maps, so skipping
 /// them is lossless).
-fn pool_mask(mask: &FeatureMask, h: usize, w: usize, k: usize) -> FeatureMask {
+pub(crate) fn pool_mask(mask: &FeatureMask, h: usize, w: usize, k: usize) -> FeatureMask {
     let spatial = mask.spatial.as_ref().map(|m| {
         let (ho, wo) = (h / k, w / k);
         let mut out = vec![false; ho * wo];

@@ -6,7 +6,9 @@
 //! to this paper — a masked convolution executor
 //! ([`masked::masked_conv2d`]) that actually *skips* the computation of
 //! dynamically pruned feature-map channels and spatial columns while
-//! counting the multiply–accumulates it performs.
+//! counting the multiply–accumulates it performs. Its int8 twin
+//! ([`quant::quantized_masked_conv2d`]) runs the same skip logic over
+//! post-training-quantized weights for evaluation/serving.
 //!
 //! # Example: one training step
 //!
@@ -57,6 +59,7 @@ pub mod loss;
 pub mod masked;
 pub mod optim;
 mod param;
+pub mod quant;
 mod sequential;
 
 pub use layer::{Layer, Mode};

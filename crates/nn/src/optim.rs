@@ -1,7 +1,7 @@
 //! Optimizers and learning-rate schedules.
 //!
 //! The paper trains with SGD and cosine learning-rate decay
-//! ("we use the cosine learning rate decaying [17] (0.1 → 0)"), which is
+//! ("we use the cosine learning rate decaying \[17\] (0.1 → 0)"), which is
 //! exactly [`Sgd`] plus [`CosineAnnealing`].
 
 use crate::Parameter;
@@ -159,7 +159,7 @@ pub trait LrSchedule: std::fmt::Debug {
 }
 
 /// Cosine annealing from `lr_max` to `lr_min` over `total_epochs`
-/// (SGDR [17] without restarts) — the paper's default schedule.
+/// (SGDR \[17\] without restarts) — the paper's default schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct CosineAnnealing {
     /// Initial (maximum) learning rate.

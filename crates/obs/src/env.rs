@@ -54,6 +54,70 @@ pub fn warn_ignored(key: &str, raw: &str, reason: &str) {
     warn_ignored_env(key, raw, reason);
 }
 
+/// Every `ANTIDOTE_*` knob the workspace reads, in one place.
+///
+/// [`warn_unknown`] checks the process environment against this list so
+/// a typo'd knob (`ANTIDOTE_THREDS=4`) warns instead of being silently
+/// inert. Keep it in sync with the knob table in the workspace README —
+/// `obs` is the lowest layer, so the full list lives here rather than
+/// being assembled from the crates that own each knob.
+pub const KNOWN_KNOBS: &[&str] = &[
+    // tensor / par
+    "ANTIDOTE_THREADS",
+    // obs
+    "ANTIDOTE_OBS",
+    "ANTIDOTE_TRACE",
+    "ANTIDOTE_LOG",
+    // core / bench training harness
+    "ANTIDOTE_SCALE",
+    "ANTIDOTE_WORKLOAD",
+    "ANTIDOTE_MAX_RETRIES",
+    "ANTIDOTE_LR_BACKOFF",
+    "ANTIDOTE_GRAD_CLIP",
+    "ANTIDOTE_INJECT_FAULT",
+    "ANTIDOTE_INJECT_WORKLOAD",
+    "ANTIDOTE_CKPT",
+    "ANTIDOTE_CKPT_EVERY",
+    "ANTIDOTE_RESUME",
+    "ANTIDOTE_STOP_AFTER",
+    // serve
+    "ANTIDOTE_SERVE_WORKERS",
+    "ANTIDOTE_SERVE_MAX_BATCH",
+    "ANTIDOTE_SERVE_MAX_WAIT_MS",
+    "ANTIDOTE_SERVE_QUEUE_CAP",
+    "ANTIDOTE_SERVE_DEADLINE_MS",
+    "ANTIDOTE_SERVE_QUANT",
+    "ANTIDOTE_SERVE_BENCH_CLIENTS",
+    "ANTIDOTE_SERVE_BENCH_REQUESTS",
+    "ANTIDOTE_SERVE_BENCH_SEED",
+];
+
+/// Keys starting with this prefix are reserved for unit tests and never
+/// warned about.
+const TEST_PREFIX: &str = "ANTIDOTE_TEST_";
+
+/// Warns (one `env.ignored` event per offender) about every set
+/// `ANTIDOTE_*` variable the workspace does not recognize — the
+/// misspelled-knob safety net. Called once per process from
+/// `init_from_env`; harmless to call again.
+pub fn warn_unknown() {
+    warn_unknown_in(std::env::vars());
+}
+
+/// [`warn_unknown`] against an explicit `(key, value)` list
+/// (unit-testable without polluting the real environment beyond the
+/// reserved test prefix).
+fn warn_unknown_in(vars: impl Iterator<Item = (String, String)>) {
+    for (key, value) in vars {
+        if !key.starts_with("ANTIDOTE_") || key.starts_with(TEST_PREFIX) {
+            continue;
+        }
+        if !KNOWN_KNOBS.contains(&key.as_str()) {
+            warn_ignored_env(&key, &value, "unrecognized ANTIDOTE_* variable (typo?)");
+        }
+    }
+}
+
 /// Parses `key` as a boolean flag: `1`/`true`/`on`/`yes` and
 /// `0`/`false`/`off`/`no` (case-insensitive). Anything else warns and
 /// returns `None`.
@@ -121,6 +185,41 @@ mod tests {
         assert!(lines.iter().any(|l| l.contains("ANTIDOTE_TEST_NEG")));
         std::env::remove_var("ANTIDOTE_TEST_ZERO");
         std::env::remove_var("ANTIDOTE_TEST_NEG");
+    }
+
+    #[test]
+    fn unknown_antidote_vars_warn_known_and_foreign_do_not() {
+        let _guard = test_lock::hold();
+        reset();
+        let vars = [
+            ("ANTIDOTE_THREDS", "4"),         // typo'd knob: must warn
+            ("ANTIDOTE_THREADS", "4"),        // known knob: silent
+            ("ANTIDOTE_SERVE_QUANT", "int8"), // known knob: silent
+            ("ANTIDOTE_TEST_WHATEVER", "x"),  // reserved test prefix: silent
+            ("PATH", "/usr/bin"),             // foreign var: silent
+        ];
+        super::warn_unknown_in(
+            vars.iter().map(|(k, v)| (k.to_string(), v.to_string())),
+        );
+        let lines = drain_events();
+        assert!(
+            lines.iter().any(|l| l.contains("env.ignored") && l.contains("ANTIDOTE_THREDS")),
+            "typo'd knob must produce an env.ignored event: {lines:?}"
+        );
+        for silent in ["ANTIDOTE_THREADS", "ANTIDOTE_SERVE_QUANT", "ANTIDOTE_TEST_WHATEVER", "PATH"] {
+            assert!(
+                lines.iter().all(|l| !l.contains(silent)),
+                "{silent} must not be warned about: {lines:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_known_knob_has_the_antidote_prefix() {
+        for knob in KNOWN_KNOBS {
+            assert!(knob.starts_with("ANTIDOTE_"), "bad allowlist entry {knob}");
+            assert!(!knob.starts_with(super::TEST_PREFIX), "test keys do not belong in the allowlist");
+        }
     }
 
     #[test]

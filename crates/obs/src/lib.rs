@@ -41,7 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod env;
 mod event;
@@ -88,9 +88,14 @@ pub fn set_enabled(on: bool) {
 ///   ([`set_trace_path`]), warn-and-ignore if the file cannot be opened;
 /// - `ANTIDOTE_LOG=off|warn|info|debug` sets the console sink threshold
 ///   (default `warn`), warn-and-ignore on anything else.
+///
+/// It also sweeps the environment once for *unrecognized* `ANTIDOTE_*`
+/// variables ([`env::warn_unknown`]) so a typo'd knob warns instead of
+/// being silently inert.
 pub fn init_from_env() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
+        env::warn_unknown();
         if let Some(on) = env::flag("ANTIDOTE_OBS") {
             set_enabled(on);
         }

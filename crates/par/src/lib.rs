@@ -72,7 +72,7 @@
 //! assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::Cell;
@@ -252,6 +252,18 @@ fn run_task(shared: &Shared, (task, group): (StaticTask, Arc<JobGroup>)) {
 /// If a task panics, the panic is captured and re-raised here (after all
 /// tasks of the batch have settled), so a crashing kernel fails the
 /// caller rather than poisoning a detached worker.
+///
+/// # Examples
+///
+/// ```
+/// let mut halves = vec![0u32; 8];
+/// let (lo, hi) = halves.split_at_mut(4);
+/// antidote_par::run_scoped(vec![
+///     Box::new(|| lo.fill(1)),
+///     Box::new(|| hi.fill(2)),
+/// ]);
+/// assert_eq!(halves, [1, 1, 1, 1, 2, 2, 2, 2]);
+/// ```
 pub fn run_scoped(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     if tasks.is_empty() {
         return;

@@ -54,6 +54,43 @@ use std::time::{Duration, Instant};
 /// into each freshly built replica.
 pub type ModelFactory = Arc<dyn Fn(usize) -> Box<dyn Network> + Send + Sync>;
 
+/// Numeric domain the model replicas serve in.
+///
+/// [`QuantMode::Int8`] asks the operator's model factory to build
+/// int8-quantized replicas (`antidote_models::QuantizedVgg`); the
+/// engine itself is domain-agnostic — the mode is configuration that
+/// factories consult, which keeps quantization strictly a deployment
+/// decision (see DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Serve fp32 replicas (the default).
+    #[default]
+    Off,
+    /// Serve int8 post-training-quantized replicas.
+    Int8,
+}
+
+impl std::str::FromStr for QuantMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "fp32" => Ok(Self::Off),
+            "int8" => Ok(Self::Int8),
+            other => Err(format!("unknown quant mode `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Int8 => "int8",
+        })
+    }
+}
+
 /// Engine configuration. Environment overrides use the
 /// `ANTIDOTE_SERVE_*` knobs (see [`ServeConfig::from_env`]), consistent
 /// with the repo-wide `ANTIDOTE_*` convention.
@@ -72,6 +109,8 @@ pub struct ServeConfig {
     pub default_deadline: Duration,
     /// The most aggressive pruning schedule budgets may scale up to.
     pub base_schedule: PruneSchedule,
+    /// Numeric domain for model replicas (`ANTIDOTE_SERVE_QUANT`).
+    pub quant: QuantMode,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +122,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             default_deadline: Duration::from_secs(5),
             base_schedule: PruneSchedule::none(),
+            quant: QuantMode::Off,
         }
     }
 }
@@ -94,7 +134,9 @@ impl ServeConfig {
     /// - `ANTIDOTE_SERVE_MAX_BATCH` — batch size ceiling;
     /// - `ANTIDOTE_SERVE_MAX_WAIT_MS` — batch window, milliseconds;
     /// - `ANTIDOTE_SERVE_QUEUE_CAP` — queue capacity;
-    /// - `ANTIDOTE_SERVE_DEADLINE_MS` — default request deadline, ms.
+    /// - `ANTIDOTE_SERVE_DEADLINE_MS` — default request deadline, ms;
+    /// - `ANTIDOTE_SERVE_QUANT` — replica numeric domain, `off` (or
+    ///   `fp32`) / `int8`, case-insensitive.
     ///
     /// Unparseable or zero values are ignored with a warning on stderr,
     /// keeping the defaults (the shared warn-and-ignore convention of
@@ -122,6 +164,18 @@ impl ServeConfig {
         }
         if let Some(v) = positive("ANTIDOTE_SERVE_DEADLINE_MS") {
             self.default_deadline = Duration::from_millis(v);
+        }
+        if let Ok(raw) = std::env::var("ANTIDOTE_SERVE_QUANT") {
+            match raw.parse::<QuantMode>() {
+                Ok(mode) => self.quant = mode,
+                Err(_) => {
+                    antidote_obs::env::warn_ignored(
+                        "ANTIDOTE_SERVE_QUANT",
+                        &raw,
+                        "must be `off` (or `fp32`) or `int8`",
+                    );
+                }
+            }
         }
         self
     }
@@ -705,6 +759,37 @@ mod tests {
         assert_eq!(
             ServeConfigError::ZeroWorkers.to_string(),
             "engine needs at least one worker"
+        );
+    }
+
+    #[test]
+    fn quant_mode_parses_and_roundtrips() {
+        assert_eq!("off".parse::<QuantMode>(), Ok(QuantMode::Off));
+        assert_eq!("FP32".parse::<QuantMode>(), Ok(QuantMode::Off));
+        assert_eq!("Int8".parse::<QuantMode>(), Ok(QuantMode::Int8));
+        assert!("int4".parse::<QuantMode>().is_err());
+        assert_eq!(QuantMode::Int8.to_string(), "int8");
+        assert_eq!(QuantMode::default(), QuantMode::Off);
+    }
+
+    #[test]
+    fn quant_env_override_applies_and_bad_values_keep_default() {
+        // Env vars are process-global: use a dedicated knob-free default
+        // config and set/remove the variable inside one test only.
+        std::env::set_var("ANTIDOTE_SERVE_QUANT", "int8");
+        assert_eq!(
+            ServeConfig::default().with_env_overrides().quant,
+            QuantMode::Int8
+        );
+        std::env::set_var("ANTIDOTE_SERVE_QUANT", "int999");
+        assert_eq!(
+            ServeConfig::default().with_env_overrides().quant,
+            QuantMode::Off
+        );
+        std::env::remove_var("ANTIDOTE_SERVE_QUANT");
+        assert_eq!(
+            ServeConfig::default().with_env_overrides().quant,
+            QuantMode::Off
         );
     }
 

@@ -9,7 +9,8 @@
 //!
 //! 1. **Admission** ([`ServeHandle::submit`]): each request may carry a
 //!    FLOPs budget; the [`budget::BudgetMapper`] resolves it to the
-//!    least aggressive scaling of the operator's base [`PruneSchedule`]
+//!    least aggressive scaling of the operator's base
+//!    [`antidote_core::PruneSchedule`]
 //!    that fits, or rejects it with a typed error.
 //! 2. **Bounded queue** ([`queue::BoundedQueue`]): backpressure instead
 //!    of unbounded growth; per-request deadlines expire while queued.
@@ -70,7 +71,7 @@ pub mod queue;
 pub use batch::MixedBatchPruner;
 pub use budget::{BudgetError, BudgetMapper, BudgetPlan};
 pub use engine::{
-    Fault, InferRequest, InferResponse, ModelFactory, PendingResponse, ServeConfig,
+    Fault, InferRequest, InferResponse, ModelFactory, PendingResponse, QuantMode, ServeConfig,
     ServeConfigError, ServeEngine, ServeError, ServeHandle,
 };
 pub use metrics::{percentile, LatencySummary, ServeMetrics};

@@ -32,6 +32,7 @@ fn base_config() -> ServeConfig {
         queue_capacity: 4,
         default_deadline: Duration::from_secs(5),
         base_schedule: PruneSchedule::channel_only(vec![0.8, 0.8]),
+        ..ServeConfig::default()
     }
 }
 

@@ -15,7 +15,10 @@
 //! - [`reduce`]: the feature-map reductions behind the paper's channel
 //!   (Eq. 1) and spatial (Eq. 2) attention coefficients, plus softmax and
 //!   deterministic `topk`;
-//! - [`init`]: seeded Kaiming/Xavier initializers.
+//! - [`init`]: seeded Kaiming/Xavier initializers;
+//! - [`quant`]: post-training int8 quantization (symmetric per-row weight
+//!   quantization, per-tensor activation scales, and an `i8×i8→i32`
+//!   register-blocked GEMM).
 //!
 //! # Example
 //!
@@ -35,12 +38,13 @@
 //! [AntiDote (DATE 2020)]: https://doi.org/10.23919/DATE48585.2020
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conv;
 mod error;
 pub mod init;
 pub mod linalg;
+pub mod quant;
 pub mod reduce;
 mod shape;
 mod tensor;

@@ -7,7 +7,7 @@
 //!
 //! All three GEMM variants share one structure: the output matrix is cut
 //! into **row blocks**, each block is computed by a register-blocked
-//! microkernel that processes [`MR`] output rows at a time (reusing every
+//! microkernel that processes `MR` output rows at a time (reusing every
 //! loaded element of the shared operand `MR`-fold), and large problems
 //! fan the blocks out over the [`antidote_par`] worker pool.
 //!
@@ -23,28 +23,32 @@
 use crate::{Shape, Tensor};
 
 /// Microkernel register-block height: output rows computed together.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Output columns per cache block — bounds the working set of the
 /// microkernel's `MR` output-row slices to `MR × NC × 4` bytes (16 KiB),
 /// comfortably inside L1 alongside the streamed operand row.
-const NC: usize = 1024;
+pub(crate) const NC: usize = 1024;
 
 /// Row blocks are only fanned out when a kernel has at least this many
 /// scalar multiply–accumulates; below it the pool hand-off costs more
 /// than it buys and the kernel runs inline (which is bit-identical).
-const MIN_PAR_MACS: usize = 1 << 18;
+pub(crate) const MIN_PAR_MACS: usize = 1 << 18;
 
 /// Cuts `c` (a `rows × row_width` row-major output) into row blocks
-/// aligned to [`MR`] and runs `kernel(first_row, block)` over them on
+/// aligned to `MR` and runs `kernel(first_row, block)` over them on
 /// the worker pool; runs inline when the problem is small, the thread
 /// budget is 1, or this is already inside a pool task.
-fn par_row_blocks(
-    c: &mut [f32],
+///
+/// Generic over the output element so the `f32` kernels here and the
+/// `i32`-accumulating int8 kernel in [`crate::quant`] share one
+/// parallelization (and therefore one determinism argument).
+pub(crate) fn par_row_blocks<T: Send>(
+    c: &mut [T],
     rows: usize,
     row_width: usize,
     macs_per_row: usize,
-    kernel: &(dyn Fn(usize, &mut [f32]) + Sync),
+    kernel: &(dyn Fn(usize, &mut [T]) + Sync),
 ) {
     if c.is_empty() {
         return; // degenerate shapes (zero rows or zero-width rows)
@@ -73,7 +77,7 @@ fn par_row_blocks(
 
 /// Splits the first `MR` rows (width `n`) off `block` as distinct
 /// mutable row slices.
-fn four_rows_mut(block: &mut [f32], n: usize) -> [&mut [f32]; MR] {
+pub(crate) fn four_rows_mut<T>(block: &mut [T], n: usize) -> [&mut [T]; MR] {
     let (r01, rest) = block.split_at_mut(2 * n);
     let (c0, c1) = r01.split_at_mut(n);
     let (c2, c3) = rest[..2 * n].split_at_mut(n);
@@ -115,7 +119,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// Raw-slice GEMM used by [`matmul`] and the conv layers (avoids shape
 /// re-validation in inner loops). `c` is accumulated into (`c += a·b`).
 ///
-/// Cache-blocked and register-blocked ([`MR`] output rows per pass, so
+/// Cache-blocked and register-blocked (`MR` output rows per pass, so
 /// each streamed `B` row is reused `MR` times from registers), and
 /// parallelized over output-row blocks — see the module docs for the
 /// bit-exactness argument.
@@ -136,7 +140,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// [`matmul_into`] microkernel for output rows
 /// `first_row .. first_row + block.len() / n`.
 ///
-/// Rows are processed in groups of [`MR`]; a group is skipped for a `p`
+/// Rows are processed in groups of `MR`; a group is skipped for a `p`
 /// only when *all* its `A` entries are zero (masked rows produce exact
 /// zeros), so the skip decision — like everything else — depends only on
 /// absolute row indices.
@@ -278,7 +282,7 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: u
 }
 
 /// [`matmul_a_bt`] microkernel for output rows
-/// `first_row .. first_row + block.len() / k`: [`MR`] independent dot
+/// `first_row .. first_row + block.len() / k`: `MR` independent dot
 /// products per streamed `B` row, each accumulated in ascending `j`
 /// order (so grouping cannot change any element's result bits).
 fn matmul_a_bt_rows(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, n: usize, k: usize) {

@@ -23,3 +23,10 @@ cargo run --release -p antidote-bench --bin profile_report
 # fwd/bwd + masked executor) and >=1.5x GEMM speedup at 4 threads
 # (speedup asserted only on hosts with >=4 hardware threads).
 cargo run --release -p antidote-bench --bin par_bench -- --smoke
+# Int8 quantization gate: quantized top-1 within 1 pt of fp32 at every
+# tested prune schedule, and the i8 GEMM strictly reduces byte traffic
+# (wall-clock parity asserted only on hosts with >=4 hardware threads).
+cargo run --release -p antidote-bench --bin quant_bench -- --smoke
+# Documentation gate: rustdoc must build warning-clean (broken intra-doc
+# links are errors; antidote-tensor/par/obs deny missing docs).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

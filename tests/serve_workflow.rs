@@ -45,6 +45,7 @@ fn config(workers: usize, max_wait: Duration) -> ServeConfig {
         queue_capacity: 64,
         default_deadline: Duration::from_secs(10),
         base_schedule: PruneSchedule::channel_only(vec![0.6, 0.6]),
+        ..ServeConfig::default()
     }
 }
 

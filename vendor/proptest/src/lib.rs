@@ -208,7 +208,7 @@ pub mod collection {
     use std::fmt;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the length argument of [`vec`].
+    /// Anything usable as the length argument of [`vec()`].
     pub trait SizeRange {
         /// Inclusive `(min, max)` length bounds.
         fn bounds(&self) -> (usize, usize);
