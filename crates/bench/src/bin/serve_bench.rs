@@ -1,10 +1,13 @@
-//! Closed-loop load generator for the `antidote-serve` engine.
+//! Open-loop load generator for the `antidote-serve` engine.
 //!
-//! Spawns `C` client threads, each submitting `R` requests back-to-back
-//! (a new request as soon as the previous response lands) against a
-//! seeded, untrained `vgg_tiny` replica pool. Requests cycle through
-//! four budget tiers — unbudgeted, loose, medium, and near the schedule
-//! floor — so every batch the micro-batcher forms is heterogeneous.
+//! Replays a seeded steady arrival trace (`antidote_bench::trace`, the
+//! same generator `overload_bench` uses) against an untrained
+//! `vgg_tiny` replica pool. Requests cycle through four budget tiers —
+//! unbudgeted, loose, medium, and near the schedule floor — so every
+//! batch the micro-batcher forms is heterogeneous. The arrival rate is
+//! calibrated to a fraction of the engine's measured capacity, so the
+//! run exercises batching and budget planning without tipping into the
+//! overload regimes covered by `overload_bench`.
 //!
 //! Output: a human-readable summary plus the full
 //! [`antidote_serve::ServeMetrics`] JSON on stdout.
@@ -16,26 +19,28 @@
 //!   `ANTIDOTE_SERVE_DEADLINE_MS`, `ANTIDOTE_SERVE_QUANT`
 //!   (`off`/`int8` — int8-quantized replicas; see
 //!   `ServeConfig::from_env`);
-//! - load: `ANTIDOTE_SERVE_BENCH_CLIENTS`,
-//!   `ANTIDOTE_SERVE_BENCH_REQUESTS` (per client),
+//! - load: `ANTIDOTE_SERVE_BENCH_REQUESTS` (total arrivals),
 //!   `ANTIDOTE_SERVE_BENCH_SEED`.
 //!
 //! `--smoke` runs a small deterministic workload and exits non-zero if
-//! any request fails or anything other than a clean completion occurs —
-//! CI uses it as the serving-path regression gate. Without `--smoke`
-//! the same workload runs twice, on 1 worker and on the configured
-//! worker count, and reports the throughput speedup.
+//! any request fails or any budget is exceeded — CI uses it as the
+//! serving-path regression gate. Without `--smoke` the same trace is
+//! replayed on 1 worker and on the configured worker count, and the
+//! goodput/latency comparison is reported.
 
+use antidote_bench::trace::{
+    generate, mean_service_ms, replay, ArrivalProcess, ClassMix, PhaseSpec, RequestClass,
+};
 use antidote_core::quant::{calibrate, CalibrationMethod};
 use antidote_core::PruneSchedule;
 use antidote_data::Split;
 use antidote_models::{QuantizedVgg, Vgg, VggConfig};
 use antidote_serve::{
-    InferRequest, ModelFactory, QuantMode, ServeConfig, ServeEngine, ServeMetrics,
+    percentile, ModelFactory, Priority, QuantMode, ServeConfig, ServeEngine, ServeMetrics,
 };
 use antidote_tensor::Tensor;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +50,10 @@ use std::time::Duration;
 /// fraction of the batch window, so worker-count effects are visible.
 const IMAGE_SIZE: usize = 64;
 const CLASSES: usize = 4;
+
+/// Every request carries a generous deadline: this benchmark measures
+/// the happy path, not SLO enforcement.
+const DEADLINE_MS: u64 = 5000;
 
 fn fresh_vgg(seed: u64) -> Vgg {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -86,86 +95,73 @@ fn factory(seed: u64, quant: QuantMode) -> ModelFactory {
 
 use antidote_obs::env::parse_or as parse_env;
 
-#[derive(Clone, Copy)]
-struct LoadSpec {
-    clients: usize,
-    requests_per_client: usize,
-    seed: u64,
+/// The four budget tiers, expressed as floor→dense fractions and
+/// equally weighted in the mix — every batch window sees a spread of
+/// schedule scales.
+fn tier_mix() -> ClassMix {
+    let tier = |name: &'static str, budget_frac: Option<f64>| RequestClass {
+        name,
+        priority: Priority::Standard,
+        budget_frac,
+        deadline_ms: DEADLINE_MS,
+    };
+    ClassMix::new(vec![
+        (tier("dense", None), 1.0),
+        (tier("loose", Some(0.9)), 1.0),
+        (tier("medium", Some(0.5)), 1.0),
+        (tier("near-floor", Some(0.05)), 1.0),
+    ])
+}
+
+fn input(i: usize) -> Tensor {
+    Tensor::from_fn([3, IMAGE_SIZE, IMAGE_SIZE], move |j| {
+        ((i * 193 + j * 7) % 23) as f32 * 0.04 - 0.44
+    })
 }
 
 struct LoadOutcome {
     metrics: ServeMetrics,
-    /// Wall-clock request rate observed by the clients (completed / s).
-    throughput_rps: f64,
+    /// Wall-clock completion rate over the trace duration.
+    goodput_rps: f64,
+    p99_ms: f64,
     /// (budget, achieved) pairs for every budgeted completion.
     budget_pairs: Vec<(f64, f64)>,
+    offered: usize,
     errors: Vec<String>,
 }
 
-/// Budget tiers cycled per request: `None` (dense), loose, medium, and
-/// near-floor, interpolated between the mapper's floor and dense costs.
-fn budget_for(tier: usize, floor: f64, dense: f64) -> Option<f64> {
-    let lerp = |f: f64| floor + f * (dense - floor);
-    match tier % 4 {
-        0 => None,
-        1 => Some(lerp(0.9)),
-        2 => Some(lerp(0.5)),
-        _ => Some(lerp(0.05)),
-    }
-}
-
-fn run_load(cfg: ServeConfig, spec: LoadSpec) -> LoadOutcome {
+/// Replays the phase list's trace on a fresh engine.
+fn run_load(cfg: ServeConfig, seed: u64, phases: &[PhaseSpec]) -> LoadOutcome {
     let quant = cfg.quant;
-    let engine = ServeEngine::start(cfg, factory(spec.seed, quant)).expect("engine start");
+    let engine = ServeEngine::start(cfg, factory(seed, quant)).expect("engine start");
     let handle = engine.handle();
-    let floor = handle.floor_macs();
-    let dense = handle.dense_macs();
+    let trace = generate(phases, seed);
     let start = std::time::Instant::now();
-    let clients: Vec<_> = (0..spec.clients)
-        .map(|c| {
-            let handle = handle.clone();
-            std::thread::spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(spec.seed + 1 + c as u64);
-                let mut pairs = Vec::new();
-                let mut errors = Vec::new();
-                for r in 0..spec.requests_per_client {
-                    let input = Tensor::from_fn([3, IMAGE_SIZE, IMAGE_SIZE], |_| {
-                        rng.gen::<f32>() - 0.5
-                    });
-                    let budget = budget_for(c + r, floor, dense);
-                    let mut req = InferRequest::new(input);
-                    if let Some(b) = budget {
-                        req = req.with_budget(b);
-                    }
-                    // Closed loop: block on the response before the next
-                    // submission.
-                    match handle.submit(req).and_then(|p| p.wait()) {
-                        Ok(resp) => {
-                            if let Some(b) = budget {
-                                pairs.push((b, resp.achieved_macs));
-                            }
-                        }
-                        Err(e) => errors.push(format!("client {c} request {r}: {e}")),
-                    }
-                }
-                (pairs, errors)
-            })
-        })
-        .collect();
-    let mut budget_pairs = Vec::new();
-    let mut errors = Vec::new();
-    for client in clients {
-        let (pairs, errs) = client.join().expect("client thread panicked");
-        budget_pairs.extend(pairs);
-        errors.extend(errs);
-    }
+    let outcomes = replay(&handle, &trace, input);
     let elapsed = start.elapsed();
     let metrics = engine.shutdown();
-    let throughput_rps = metrics.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    let mut budget_pairs = Vec::new();
+    let mut errors = Vec::new();
+    let mut latencies = Vec::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        match &o.result {
+            Ok(resp) => {
+                if let Some(b) = resp.budget {
+                    budget_pairs.push((b, resp.achieved_macs));
+                }
+                latencies.push(resp.latency.as_secs_f64() * 1e3);
+            }
+            Err(e) => errors.push(format!("request {i} ({}): {e}", o.class.name)),
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
     LoadOutcome {
+        goodput_rps: metrics.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p99_ms: percentile(&latencies, 99.0),
         metrics,
-        throughput_rps,
         budget_pairs,
+        offered: outcomes.len(),
         errors,
     }
 }
@@ -174,12 +170,12 @@ fn print_summary(label: &str, out: &LoadOutcome) {
     let m = &out.metrics;
     println!("--- {label} ---");
     println!(
-        "completed {} | rejected {} | expired {} | infeasible {} | panicked {}",
-        m.completed, m.rejected_full, m.expired, m.infeasible, m.panicked
+        "offered {} | completed {} | rejected {} | expired {} | shed {} | infeasible {} | panicked {}",
+        out.offered, m.completed, m.rejected_full, m.expired, m.shed, m.infeasible, m.panicked
     );
     println!(
-        "throughput {:.1} req/s | mean batch {:.2} | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
-        out.throughput_rps, m.mean_batch_size, m.latency.p50_ms, m.latency.p95_ms, m.latency.p99_ms
+        "goodput {:.1} req/s | mean batch {:.2} | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
+        out.goodput_rps, m.mean_batch_size, m.latency.p50_ms, m.latency.p95_ms, m.latency.p99_ms
     );
     println!(
         "budgeted {} | mean budget utilization {:.3} | max {:.3}",
@@ -190,36 +186,53 @@ fn print_summary(label: &str, out: &LoadOutcome) {
 fn main() {
     antidote_obs::init_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let spec = LoadSpec {
-        clients: parse_env("ANTIDOTE_SERVE_BENCH_CLIENTS", 3usize),
-        requests_per_client: parse_env(
-            "ANTIDOTE_SERVE_BENCH_REQUESTS",
-            if smoke { 8usize } else { 32 },
-        ),
-        seed: parse_env("ANTIDOTE_SERVE_BENCH_SEED", 42u64),
-    };
-    let cfg = ServeConfig {
+    let requests: usize =
+        parse_env("ANTIDOTE_SERVE_BENCH_REQUESTS", if smoke { 24usize } else { 96 });
+    let seed: u64 = parse_env("ANTIDOTE_SERVE_BENCH_SEED", 42u64);
+    let mut cfg = ServeConfig {
         workers: 4,
         max_batch: 8,
         max_wait: Duration::from_millis(4),
-        // Closed-loop clients bound in-flight requests, so the queue
-        // only needs headroom for one round per client.
+        // The trace rate is calibrated below capacity, so the queue
+        // only needs headroom for batching jitter.
         queue_capacity: 64,
         base_schedule: PruneSchedule::channel_only(vec![0.6, 0.6]),
         ..ServeConfig::default()
     }
     .with_env_overrides();
+    // Replica kills belong to overload_bench's chaos phase; this
+    // benchmark gates the happy path.
+    cfg.chaos = None;
+
+    // Calibrate the arrival rate to the pool's measured capacity so the
+    // trace loads the batcher without tipping into overload.
+    let calib_engine =
+        ServeEngine::start(cfg.clone(), factory(seed, cfg.quant)).expect("engine start");
+    let service_ms = mean_service_ms(&calib_engine.handle(), &input(0), 4);
+    calib_engine.shutdown();
+    let capacity_rps = cfg.workers as f64 * 1e3 / service_ms.max(1e-3);
+    let rps = 0.6 * capacity_rps;
+    let duration = Duration::from_secs_f64((requests as f64 / rps).max(0.05));
+    println!(
+        "calibrated: service {service_ms:.2}ms, capacity {capacity_rps:.1} req/s -> steady {rps:.1} req/s for {:.2}s",
+        duration.as_secs_f64()
+    );
+    let phases = vec![PhaseSpec {
+        name: "steady",
+        process: ArrivalProcess::Steady { rps },
+        duration,
+        mix: tier_mix(),
+    }];
 
     if smoke {
-        let out = run_load(cfg, spec);
+        let out = run_load(cfg, seed, &phases);
         print_summary("smoke", &out);
         println!("{}", out.metrics.to_json());
-        let expected = (spec.clients * spec.requests_per_client) as u64;
         let mut failed = false;
-        if out.metrics.completed == 0 || out.metrics.completed != expected {
+        if out.metrics.completed == 0 || out.metrics.completed as usize != out.offered {
             eprintln!(
-                "SMOKE FAIL: completed {} of {expected} requests",
-                out.metrics.completed
+                "SMOKE FAIL: completed {} of {} offered requests",
+                out.metrics.completed, out.offered
             );
             failed = true;
         }
@@ -238,27 +251,34 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("smoke ok: {} completions, 0 unexpected errors", out.metrics.completed);
+        println!(
+            "smoke ok: {} completions, 0 unexpected errors",
+            out.metrics.completed
+        );
         return;
     }
 
-    // Full mode: same seeded workload on 1 worker vs the configured
-    // pool, reporting the coalescing-overlap speedup.
+    // Full mode: the same seeded trace on 1 worker vs the configured
+    // pool. The single worker saturates (typed sheds/expiries are
+    // expected and acceptable there); the pool should absorb the load.
     let single = run_load(
         ServeConfig {
             workers: 1,
             ..cfg.clone()
         },
-        spec,
+        seed,
+        &phases,
     );
     print_summary("1 worker", &single);
-    let pooled = run_load(cfg.clone(), spec);
+    let pooled = run_load(cfg.clone(), seed, &phases);
     print_summary(&format!("{} workers", cfg.workers), &pooled);
     println!(
-        "speedup: {:.2}x ({:.1} -> {:.1} req/s)",
-        pooled.throughput_rps / single.throughput_rps.max(1e-9),
-        single.throughput_rps,
-        pooled.throughput_rps
+        "goodput: {:.2}x ({:.1} -> {:.1} req/s) | p99 {:.1}ms -> {:.1}ms",
+        pooled.goodput_rps / single.goodput_rps.max(1e-9),
+        single.goodput_rps,
+        pooled.goodput_rps,
+        single.p99_ms,
+        pooled.p99_ms,
     );
     println!("{}", pooled.metrics.to_json());
 }

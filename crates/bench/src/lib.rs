@@ -11,6 +11,7 @@
 //! | Fig. 4 (redundancy composition) | `… --bin fig4 --release` |
 //! | Sec. IV-B ratio ascent behaviour | `… --bin ttd_ascent --release` |
 //! | Serving throughput/latency under budgets | `… --bin serve_bench --release` |
+//! | Overload survival (open-loop traces + chaos) | `… --bin overload_bench --release` |
 //! | Per-layer time/MAC profile (obs-backed) | `… --bin profile_report --release` |
 //! | Intra-op thread parity + GEMM speedup | `… --bin par_bench --release` |
 //! | Int8 quantization accuracy + GEMM byte/wall gates | `… --bin quant_bench --release` |
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod harness;
+pub mod trace;
 mod workloads;
 
 pub use harness::{

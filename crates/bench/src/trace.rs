@@ -1,0 +1,437 @@
+//! Open-loop arrival traces for serving benchmarks.
+//!
+//! A trace is a pre-generated, seeded list of [`TraceEvent`]s — absolute
+//! arrival offsets plus a [`RequestClass`] drawn from a weighted
+//! [`ClassMix`]. [`replay`] submits each event at its scheduled instant
+//! whether or not the engine has kept up ("open loop"), which is the
+//! property that makes overload visible: a closed-loop generator slows
+//! down with the server and can never push it past saturation.
+//!
+//! Arrival shapes ([`ArrivalProcess`]) cover the regimes an overloaded
+//! server meets in practice: steady Poisson, linear ramps through
+//! saturation, square-wave bursts, slow diurnal swings, and
+//! heavy-tailed (Pareto) gaps whose variance defeats sizing by mean
+//! rate alone.
+
+use antidote_serve::{InferRequest, InferResponse, Priority, ServeError, ServeHandle};
+use antidote_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One kind of request in the mix: a priority lane, an optional compute
+/// budget (as a fraction of the floor→dense MAC range, resolved against
+/// the target engine at replay time), and an SLO deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestClass {
+    /// Label used in reports.
+    pub name: &'static str,
+    /// Priority lane for SLO scheduling and shed ordering.
+    pub priority: Priority,
+    /// Budget as a fraction in `[0, 1]` of `floor + f·(dense − floor)`
+    /// MACs; `None` submits an unbudgeted (dense) request.
+    pub budget_frac: Option<f64>,
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// A weighted set of [`RequestClass`]es to draw arrivals from.
+#[derive(Debug, Clone)]
+pub struct ClassMix {
+    classes: Vec<(RequestClass, f64)>,
+    total_weight: f64,
+}
+
+impl ClassMix {
+    /// Builds a mix from `(class, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// If the list is empty or any weight is non-positive/non-finite.
+    pub fn new(classes: Vec<(RequestClass, f64)>) -> Self {
+        assert!(!classes.is_empty(), "class mix must not be empty");
+        let mut total_weight = 0.0;
+        for (class, w) in &classes {
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "class {} has invalid weight {w}",
+                class.name
+            );
+            total_weight += w;
+        }
+        Self { classes, total_weight }
+    }
+
+    /// A mix containing a single class.
+    pub fn uniform(class: RequestClass) -> Self {
+        Self::new(vec![(class, 1.0)])
+    }
+
+    /// Draws one class according to the weights.
+    pub fn pick(&self, rng: &mut SmallRng) -> RequestClass {
+        let mut roll = rng.gen::<f64>() * self.total_weight;
+        for (class, w) in &self.classes {
+            roll -= w;
+            if roll <= 0.0 {
+                return *class;
+            }
+        }
+        // Floating-point slop on the last draw.
+        self.classes[self.classes.len() - 1].0
+    }
+}
+
+/// Shape of the arrival rate over one phase. All rates are requests per
+/// second; the instantaneous rate is evaluated at the *fraction* of the
+/// phase elapsed, so the same process stretches to any duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at a fixed rate.
+    Steady {
+        /// Mean arrival rate.
+        rps: f64,
+    },
+    /// Rate climbs linearly from `start_rps` to `end_rps` — the classic
+    /// drive-through-saturation sweep.
+    Ramp {
+        /// Rate at the start of the phase.
+        start_rps: f64,
+        /// Rate at the end of the phase.
+        end_rps: f64,
+    },
+    /// Square wave: `burst_rps` for the first `duty` fraction of each
+    /// `period`, `base_rps` for the rest.
+    Burst {
+        /// Rate between bursts.
+        base_rps: f64,
+        /// Rate during a burst.
+        burst_rps: f64,
+        /// Length of one burst cycle.
+        period: Duration,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        duty: f64,
+    },
+    /// Sinusoidal swing between `low_rps` and `high_rps` with the given
+    /// period — a compressed day/night load curve.
+    Diurnal {
+        /// Trough rate.
+        low_rps: f64,
+        /// Peak rate.
+        high_rps: f64,
+        /// Length of one full cycle.
+        period: Duration,
+    },
+    /// Pareto-distributed gaps with mean `1/rps`: most gaps are short,
+    /// a few are very long, so arrivals clump far harder than Poisson
+    /// at the same mean rate. `alpha` must exceed 1 for the mean to
+    /// exist; values near 1 are the most bursty.
+    HeavyTail {
+        /// Mean arrival rate.
+        rps: f64,
+        /// Pareto shape parameter (> 1).
+        alpha: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous mean rate at `frac ∈ [0, 1]` of the phase, given
+    /// the phase duration (needed by the periodic shapes).
+    pub fn rate_at(&self, frac: f64, phase: Duration) -> f64 {
+        let frac = frac.clamp(0.0, 1.0);
+        match *self {
+            ArrivalProcess::Steady { rps } | ArrivalProcess::HeavyTail { rps, .. } => rps,
+            ArrivalProcess::Ramp { start_rps, end_rps } => {
+                start_rps + frac * (end_rps - start_rps)
+            }
+            ArrivalProcess::Burst { base_rps, burst_rps, period, duty } => {
+                let t = frac * phase.as_secs_f64();
+                let pos = (t / period.as_secs_f64().max(1e-9)).fract();
+                if pos < duty {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+            ArrivalProcess::Diurnal { low_rps, high_rps, period } => {
+                let t = frac * phase.as_secs_f64();
+                let angle = t / period.as_secs_f64().max(1e-9) * std::f64::consts::TAU;
+                let mid = 0.5 * (low_rps + high_rps);
+                let amp = 0.5 * (high_rps - low_rps);
+                // Start at the trough so short phases still show a swing.
+                mid - amp * angle.cos()
+            }
+        }
+    }
+
+    /// Samples the gap to the next arrival at `frac` of the phase.
+    /// Exponential gaps (Poisson) for every shape except `HeavyTail`,
+    /// which draws Pareto gaps with the same mean, capped at 10× the
+    /// mean so a single extreme draw cannot consume the whole phase.
+    fn gap(&self, frac: f64, phase: Duration, rng: &mut SmallRng) -> Duration {
+        match *self {
+            ArrivalProcess::HeavyTail { rps, alpha } => {
+                let mean = 1.0 / rps.max(1e-9);
+                // Pareto(xm, α) has mean xm·α/(α−1); invert for xm.
+                let xm = mean * (alpha - 1.0) / alpha;
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                let gap = xm / u.powf(1.0 / alpha);
+                Duration::from_secs_f64(gap.min(10.0 * mean))
+            }
+            _ => {
+                let rate = self.rate_at(frac, phase).max(1e-9);
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                Duration::from_secs_f64(-u.ln() / rate)
+            }
+        }
+    }
+}
+
+/// One phase of a trace: an arrival shape sustained for a duration,
+/// drawing request classes from a mix.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Label used in reports.
+    pub name: &'static str,
+    /// Arrival shape for this phase.
+    pub process: ArrivalProcess,
+    /// How long the phase lasts.
+    pub duration: Duration,
+    /// Request classes to draw from.
+    pub mix: ClassMix,
+}
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Offset from the start of the trace.
+    pub at: Duration,
+    /// Index of the phase (into the `PhaseSpec` slice) that produced
+    /// this arrival.
+    pub phase: usize,
+    /// The drawn request class.
+    pub class: RequestClass,
+}
+
+/// Generates the full arrival trace for a sequence of phases from one
+/// seed. Deterministic: the same phases and seed always produce the
+/// same trace, so runs are comparable across machines and reruns.
+pub fn generate(phases: &[PhaseSpec], seed: u64) -> Vec<TraceEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut phase_start = Duration::ZERO;
+    for (idx, spec) in phases.iter().enumerate() {
+        let mut t = Duration::ZERO;
+        loop {
+            let frac = t.as_secs_f64() / spec.duration.as_secs_f64().max(1e-9);
+            t += spec.process.gap(frac, spec.duration, &mut rng);
+            if t >= spec.duration {
+                break;
+            }
+            events.push(TraceEvent {
+                at: phase_start + t,
+                phase: idx,
+                class: spec.mix.pick(&mut rng),
+            });
+        }
+        phase_start += spec.duration;
+    }
+    events
+}
+
+/// Terminal outcome of one replayed arrival, tagged with where in the
+/// trace it came from.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Phase index of the arrival.
+    pub phase: usize,
+    /// The arrival's request class.
+    pub class: RequestClass,
+    /// The engine's typed response or failure.
+    pub result: Result<InferResponse, ServeError>,
+}
+
+/// Replays a trace against a live engine, open loop: every event is
+/// submitted at its scheduled offset regardless of how the engine is
+/// doing, and responses are collected only after the last submission.
+/// Budgets are resolved against the handle's floor/dense MAC range.
+///
+/// The caller supplies the input for each event (indexed by position in
+/// `events`), so replays can be deterministic or varied as needed.
+pub fn replay(
+    handle: &ServeHandle,
+    events: &[TraceEvent],
+    mut input: impl FnMut(usize) -> Tensor,
+) -> Vec<ReplayOutcome> {
+    let floor = handle.floor_macs();
+    let dense = handle.dense_macs();
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let due = start + ev.at;
+        loop {
+            let now = Instant::now();
+            if now >= due {
+                break;
+            }
+            std::thread::sleep(due - now);
+        }
+        let mut req = InferRequest::new(input(i))
+            .with_priority(ev.class.priority)
+            .with_deadline(Duration::from_millis(ev.class.deadline_ms));
+        if let Some(f) = ev.class.budget_frac {
+            req = req.with_budget(floor + f.clamp(0.0, 1.0) * (dense - floor));
+        }
+        // Admission errors (shed, full, infeasible) are terminal
+        // outcomes too; keep them in order with the successes.
+        pending.push((ev.phase, ev.class, handle.submit(req)));
+    }
+    pending
+        .into_iter()
+        .map(|(phase, class, sub)| ReplayOutcome {
+            phase,
+            class,
+            result: sub.and_then(|p| p.wait()),
+        })
+        .collect()
+}
+
+/// Measures the mean single-request service latency (milliseconds) by
+/// running `n` sequential dense requests — the capacity calibration
+/// used to express trace rates as multiples of what the engine can
+/// actually sustain.
+pub fn mean_service_ms(handle: &ServeHandle, input: &Tensor, n: usize) -> f64 {
+    let n = n.max(1);
+    let mut total = Duration::ZERO;
+    for _ in 0..n {
+        let resp = handle
+            .submit(InferRequest::new(input.clone()))
+            .and_then(|p| p.wait())
+            .expect("calibration request must succeed on an idle engine");
+        total += resp.latency;
+    }
+    total.as_secs_f64() * 1e3 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(name: &'static str) -> RequestClass {
+        RequestClass {
+            name,
+            priority: Priority::Standard,
+            budget_frac: None,
+            deadline_ms: 1000,
+        }
+    }
+
+    fn steady_phase(rps: f64, secs: u64) -> PhaseSpec {
+        PhaseSpec {
+            name: "steady",
+            process: ArrivalProcess::Steady { rps },
+            duration: Duration::from_secs(secs),
+            mix: ClassMix::uniform(class("only")),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let phases = [steady_phase(200.0, 2)];
+        let a = generate(&phases, 9);
+        let b = generate(&phases, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.class, y.class);
+        }
+        let c = generate(&phases, 10);
+        assert_ne!(
+            a.iter().map(|e| e.at).collect::<Vec<_>>(),
+            c.iter().map(|e| e.at).collect::<Vec<_>>(),
+            "different seeds must produce different traces"
+        );
+    }
+
+    #[test]
+    fn steady_rate_is_respected_in_expectation() {
+        let events = generate(&[steady_phase(500.0, 4)], 1);
+        let expected = 500.0 * 4.0;
+        let n = events.len() as f64;
+        assert!(
+            (n - expected).abs() < expected * 0.15,
+            "got {n} events, expected ~{expected}"
+        );
+        assert!(events.iter().all(|e| e.at < Duration::from_secs(4)));
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn ramp_concentrates_arrivals_late() {
+        let phases = [PhaseSpec {
+            name: "ramp",
+            process: ArrivalProcess::Ramp { start_rps: 10.0, end_rps: 500.0 },
+            duration: Duration::from_secs(4),
+            mix: ClassMix::uniform(class("only")),
+        }];
+        let events = generate(&phases, 2);
+        let half = Duration::from_secs(2);
+        let early = events.iter().filter(|e| e.at < half).count();
+        let late = events.len() - early;
+        assert!(
+            late > early * 2,
+            "ramp must back-load arrivals: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_gaps_are_bounded_and_clumpier_than_poisson() {
+        let secs = 8;
+        let tail = generate(
+            &[PhaseSpec {
+                name: "tail",
+                process: ArrivalProcess::HeavyTail { rps: 200.0, alpha: 1.3 },
+                duration: Duration::from_secs(secs),
+                mix: ClassMix::uniform(class("only")),
+            }],
+            3,
+        );
+        let poisson = generate(&[steady_phase(200.0, secs)], 3);
+        let max_gap = |evs: &[TraceEvent]| {
+            evs.windows(2)
+                .map(|w| w[1].at - w[0].at)
+                .max()
+                .unwrap_or(Duration::ZERO)
+        };
+        // The cap: no gap may exceed 10× the mean (10/200 s = 50ms).
+        assert!(max_gap(&tail) <= Duration::from_millis(50));
+        assert!(
+            max_gap(&tail) > max_gap(&poisson),
+            "Pareto gaps must clump harder than Poisson at the same mean"
+        );
+    }
+
+    #[test]
+    fn class_mix_tracks_weights() {
+        let mix = ClassMix::new(vec![(class("a"), 3.0), (class("b"), 1.0)]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let draws = 4000;
+        let a = (0..draws).filter(|_| mix.pick(&mut rng).name == "a").count();
+        let frac = a as f64 / draws as f64;
+        assert!((frac - 0.75).abs() < 0.05, "weight-3/1 mix drew a {frac}");
+    }
+
+    #[test]
+    fn phases_are_concatenated_in_order() {
+        let events = generate(&[steady_phase(100.0, 1), steady_phase(100.0, 1)], 5);
+        let boundary = Duration::from_secs(1);
+        for e in &events {
+            match e.phase {
+                0 => assert!(e.at < boundary),
+                1 => assert!(e.at >= boundary && e.at < boundary * 2),
+                p => panic!("unexpected phase index {p}"),
+            }
+        }
+        assert!(events.iter().any(|e| e.phase == 0));
+        assert!(events.iter().any(|e| e.phase == 1));
+    }
+}

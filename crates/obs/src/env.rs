@@ -87,9 +87,16 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ANTIDOTE_SERVE_QUEUE_CAP",
     "ANTIDOTE_SERVE_DEADLINE_MS",
     "ANTIDOTE_SERVE_QUANT",
-    "ANTIDOTE_SERVE_BENCH_CLIENTS",
+    "ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK",
+    "ANTIDOTE_SERVE_SHED_WATERMARK",
     "ANTIDOTE_SERVE_BENCH_REQUESTS",
     "ANTIDOTE_SERVE_BENCH_SEED",
+    // chaos mode (serve)
+    "ANTIDOTE_CHAOS_KILL_EVERY_MS",
+    "ANTIDOTE_CHAOS_KILLS",
+    "ANTIDOTE_CHAOS_SEED",
+    // overload bench
+    "ANTIDOTE_OVERLOAD_SEED",
 ];
 
 /// Keys starting with this prefix are reserved for unit tests and never

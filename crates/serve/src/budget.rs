@@ -192,6 +192,19 @@ impl BudgetMapper {
         self.macs_from_fractions(&self.quantized_fractions(&schedule))
     }
 
+    /// The operating point at an explicit prune-ratio scale, bypassing
+    /// budget search. Used by the load shedder: under queue pressure the
+    /// engine degrades admitted requests to at least this scale (cheaper
+    /// MACs) instead of rejecting them. `scale` is clamped to `[0, 1]`.
+    pub fn plan_at_scale(&self, scale: f64) -> BudgetPlan {
+        let scale = if scale.is_finite() { scale.clamp(0.0, 1.0) } else { 1.0 };
+        BudgetPlan {
+            schedule: self.base.scaled(scale),
+            predicted_macs: self.macs_at_scale(scale),
+            scale,
+        }
+    }
+
     /// Resolves a budget to an operating point.
     ///
     /// `None` means "no budget": the request runs dense. A finite budget
@@ -340,6 +353,20 @@ mod tests {
             let k = ck * tap.channels as f64;
             assert!((k - k.round()).abs() < 1e-9, "ck·C must be integral");
         }
+    }
+
+    #[test]
+    fn plan_at_scale_clamps_and_matches_endpoints() {
+        let m = mapper(PruneSchedule::channel_only(vec![0.5, 0.5]));
+        assert_eq!(m.plan_at_scale(0.0).predicted_macs, m.dense_macs());
+        assert_eq!(m.plan_at_scale(1.0).predicted_macs, m.floor_macs());
+        // Out-of-range and non-finite scales clamp to the floor end.
+        assert_eq!(m.plan_at_scale(7.0).scale, 1.0);
+        assert_eq!(m.plan_at_scale(-3.0).scale, 0.0);
+        assert_eq!(m.plan_at_scale(f64::NAN).scale, 1.0);
+        let mid = m.plan_at_scale(0.5);
+        assert!(mid.predicted_macs <= m.dense_macs());
+        assert!(mid.predicted_macs >= m.floor_macs());
     }
 
     #[test]

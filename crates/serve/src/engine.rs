@@ -1,13 +1,13 @@
-//! The serving engine: admission → bounded queue → micro-batcher →
+//! The serving engine: admission → SLO-aware queue → micro-batcher →
 //! worker pool → per-request responses.
 //!
 //! ```text
-//!  clients ──submit──▶ [BudgetMapper] ──▶ [BoundedQueue] ──pop──▶ workers (N replicas)
-//!                          │ infeasible        │ full                │
-//!                          ▼ typed reject      ▼ typed reject        ▼ batch ≤ max_batch,
-//!                                                               window ≤ max_wait
-//!                                                                    │
-//!                        responses ◀── per-item logits + achieved FLOPs
+//!  clients ──submit──▶ [BudgetMapper] ─▶ [ShedConfig] ─▶ [SloQueue] ──pop──▶ workers (N replicas)
+//!                          │ infeasible      │ shed          │ full / expired     │
+//!                          ▼ typed reject    ▼ typed reject  ▼ typed reject       ▼ batch ≤ max_batch,
+//!                                            │ degrade                       window ≤ max_wait
+//!                                            ▼ cheaper schedule                   │
+//!                        responses ◀── per-item logits + achieved FLOPs ◀─────────┘
 //!                                            │
 //!                                       [ServeMetrics]
 //! ```
@@ -22,6 +22,19 @@
 //! with other workers' compute, which is why multiple workers raise
 //! throughput even on a single core.
 //!
+//! **Overload behavior** (DESIGN.md §12). The queue is SLO-aware
+//! ([`SloQueue`]): priority lanes with earliest-deadline-first order, and
+//! eager expiry — a request whose deadline passes while queued is failed
+//! with a typed [`ServeError::DeadlineExceeded`] at dequeue, never
+//! occupying a batch slot. Admission consults the degrade-before-shed
+//! policy ([`ShedConfig`]): under queue pressure, requests are first
+//! degraded to cheaper [`PruneSchedule`] scales (serve at reduced MACs
+//! rather than fail), then — above the shed watermark — low-priority
+//! requests are rejected with typed [`ServeError::Overloaded`] errors.
+//! Chaos mode ([`ChaosConfig`], `ANTIDOTE_CHAOS_*`) periodically panics
+//! a worker mid-batch to continuously exercise the panic-containment +
+//! replica-rebuild path under load.
+//!
 //! **Interplay with intra-op threads.** Below the replica level, the
 //! conv/GEMM kernels a worker executes fan out over the shared
 //! `antidote-par` pool (`ANTIDOTE_THREADS`, see DESIGN.md §10).
@@ -34,8 +47,10 @@
 
 use crate::batch::MixedBatchPruner;
 use crate::budget::{BudgetError, BudgetMapper, BudgetPlan};
+use crate::chaos::{ChaosConfig, ChaosMonkey};
 use crate::metrics::{MetricsState, ServeMetrics};
-use crate::queue::{BoundedQueue, Popped, PushError};
+use crate::queue::{PushError, Scheduled, SloQueue};
+use crate::shed::{Priority, ShedConfig, ShedDecision};
 use antidote_core::report::FailureRecord;
 use antidote_core::PruneSchedule;
 use antidote_models::Network;
@@ -111,6 +126,13 @@ pub struct ServeConfig {
     pub base_schedule: PruneSchedule,
     /// Numeric domain for model replicas (`ANTIDOTE_SERVE_QUANT`).
     pub quant: QuantMode,
+    /// Degrade-before-shed watermarks
+    /// (`ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK` /
+    /// `ANTIDOTE_SERVE_SHED_WATERMARK`).
+    pub shed: ShedConfig,
+    /// Chaos mode: periodically panic a worker mid-batch to exercise the
+    /// recovery path (`ANTIDOTE_CHAOS_*`). `None` — the default — is off.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +145,8 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(5),
             base_schedule: PruneSchedule::none(),
             quant: QuantMode::Off,
+            shed: ShedConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -136,7 +160,13 @@ impl ServeConfig {
     /// - `ANTIDOTE_SERVE_QUEUE_CAP` — queue capacity;
     /// - `ANTIDOTE_SERVE_DEADLINE_MS` — default request deadline, ms;
     /// - `ANTIDOTE_SERVE_QUANT` — replica numeric domain, `off` (or
-    ///   `fp32`) / `int8`, case-insensitive.
+    ///   `fp32`) / `int8`, case-insensitive;
+    /// - `ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK` /
+    ///   `ANTIDOTE_SERVE_SHED_WATERMARK` — degrade-before-shed pressure
+    ///   watermarks, fractions of queue capacity in `(0, 1]`;
+    /// - `ANTIDOTE_CHAOS_KILL_EVERY_MS` / `ANTIDOTE_CHAOS_KILLS` /
+    ///   `ANTIDOTE_CHAOS_SEED` — chaos mode (see
+    ///   [`ChaosConfig::from_env`]).
     ///
     /// Unparseable or zero values are ignored with a warning on stderr,
     /// keeping the defaults (the shared warn-and-ignore convention of
@@ -177,6 +207,28 @@ impl ServeConfig {
                 }
             }
         }
+        for (key, slot) in [
+            (
+                "ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK",
+                &mut self.shed.degrade_watermark,
+            ),
+            ("ANTIDOTE_SERVE_SHED_WATERMARK", &mut self.shed.shed_watermark),
+        ] {
+            if let Some(v) = antidote_obs::env::positive::<f64>(key) {
+                if v <= 1.0 {
+                    *slot = v;
+                } else {
+                    antidote_obs::env::warn_ignored(
+                        key,
+                        &v.to_string(),
+                        "must be a fraction of capacity in (0, 1]",
+                    );
+                }
+            }
+        }
+        if let Some(chaos) = ChaosConfig::from_env() {
+            self.chaos = Some(chaos);
+        }
         self
     }
 
@@ -189,6 +241,9 @@ impl ServeConfig {
         }
         if self.queue_capacity == 0 {
             return Err(ServeConfigError::ZeroCapacity);
+        }
+        if !self.shed.is_valid() {
+            return Err(ServeConfigError::BadWatermarks);
         }
         Ok(())
     }
@@ -203,6 +258,9 @@ pub enum ServeConfigError {
     ZeroBatch,
     /// `queue_capacity` must be ≥ 1.
     ZeroCapacity,
+    /// The shed watermarks must be finite fractions in `(0, 1]` with
+    /// `degrade_watermark ≤ shed_watermark`.
+    BadWatermarks,
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -211,6 +269,10 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::ZeroWorkers => write!(f, "engine needs at least one worker"),
             ServeConfigError::ZeroBatch => write!(f, "max_batch must be at least 1"),
             ServeConfigError::ZeroCapacity => write!(f, "queue capacity must be at least 1"),
+            ServeConfigError::BadWatermarks => write!(
+                f,
+                "shed watermarks must be fractions in (0, 1] with degrade ≤ shed"
+            ),
         }
     }
 }
@@ -238,17 +300,21 @@ pub struct InferRequest {
     pub budget: Option<f64>,
     /// Deadline override; `None` uses the engine default.
     pub deadline: Option<Duration>,
+    /// Priority lane for SLO scheduling and shedding order.
+    pub priority: Priority,
     /// Fault injection (testing knob; `None` in production).
     pub fault: Option<Fault>,
 }
 
 impl InferRequest {
-    /// A dense (no budget) request with the default deadline.
+    /// A dense (no budget) request with the default deadline and
+    /// [`Priority::Standard`].
     pub fn new(input: Tensor) -> Self {
         Self {
             input,
             budget: None,
             deadline: None,
+            priority: Priority::default(),
             fault: None,
         }
     }
@@ -262,6 +328,12 @@ impl InferRequest {
     /// Sets a per-request deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the priority lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -282,6 +354,11 @@ pub struct InferResponse {
     pub achieved_macs: f64,
     /// Prune-ratio scale the planner chose (0 = dense).
     pub schedule_scale: f64,
+    /// `true` when overload pressure degraded this request to a cheaper
+    /// schedule scale than its budget alone would have chosen.
+    pub degraded: bool,
+    /// The request's priority lane.
+    pub priority: Priority,
     /// How many live requests shared this request's forward pass.
     pub batch_size: usize,
     /// Index of the worker that served the request.
@@ -297,7 +374,8 @@ pub struct InferResponse {
 /// silently.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// Admission rejected: the bounded queue is at capacity.
+    /// Admission rejected: the bounded queue is at capacity with work of
+    /// equal or higher priority.
     QueueFull {
         /// The configured queue capacity.
         capacity: usize,
@@ -311,10 +389,20 @@ pub enum ServeError {
         /// The offending tensor dimensions.
         dims: Vec<usize>,
     },
-    /// The deadline passed while the request was queued or batching.
-    DeadlineExpired {
+    /// The deadline passed while the request was queued or batching. The
+    /// request never consumed a batch slot.
+    DeadlineExceeded {
         /// How long the request had been waiting when it was dropped.
         waited: Duration,
+    },
+    /// Load shedding rejected or displaced the request: queue pressure
+    /// was above the shed threshold for its priority lane (or a
+    /// higher-priority arrival displaced it from a full queue).
+    Overloaded {
+        /// Queue pressure (depth / capacity) at the shed decision.
+        pressure: f64,
+        /// The request's priority lane.
+        priority: Priority,
     },
     /// The worker processing this request's batch panicked. The engine
     /// replaced the worker's replica and kept serving.
@@ -337,7 +425,8 @@ impl ServeError {
             ServeError::QueueFull { .. } => "admission-queue",
             ServeError::Budget(_) => "admission-budget",
             ServeError::BadInput { .. } => "admission-input",
-            ServeError::DeadlineExpired { .. } => "deadline",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Overloaded { .. } => "overload-shed",
             ServeError::WorkerPanicked { .. } => "worker-panic",
             ServeError::ShuttingDown => "shutdown",
             ServeError::Disconnected => "disconnect",
@@ -365,9 +454,13 @@ impl std::fmt::Display for ServeError {
             ServeError::BadInput { dims } => {
                 write!(f, "input must be one (C,H,W) image, got shape {dims:?}")
             }
-            ServeError::DeadlineExpired { waited } => {
-                write!(f, "deadline expired after waiting {waited:?}")
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after waiting {waited:?}")
             }
+            ServeError::Overloaded { pressure, priority } => write!(
+                f,
+                "overloaded: {priority} request shed at queue pressure {pressure:.2}"
+            ),
             ServeError::WorkerPanicked { worker } => {
                 write!(f, "worker {worker} panicked while serving this batch")
             }
@@ -390,10 +483,21 @@ struct Ticket {
     input: Tensor,
     budget: Option<f64>,
     plan: BudgetPlan,
+    priority: Priority,
+    degraded: bool,
     fault: Option<Fault>,
     enqueued_at: Instant,
     deadline: Instant,
     tx: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+impl Scheduled for Ticket {
+    fn lane(&self) -> usize {
+        self.priority.lane()
+    }
+    fn deadline(&self) -> Instant {
+        self.deadline
+    }
 }
 
 /// A response that will arrive once a worker serves the request.
@@ -418,13 +522,32 @@ impl PendingResponse {
     }
 }
 
+/// Fails every swept-out expired ticket with a typed
+/// [`ServeError::DeadlineExceeded`] and accounts for them. Shared by
+/// admission (sweeps during push) and the worker loop (sweeps during
+/// pop), so expired requests get their terminal response from whichever
+/// thread discovered them — never stranded behind a blocked worker.
+fn fail_expired(metrics: &Mutex<MetricsState>, expired: Vec<Ticket>) {
+    if expired.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    metrics.lock().expect("metrics lock").expired += expired.len() as u64;
+    for t in expired {
+        let waited = now.saturating_duration_since(t.enqueued_at);
+        let _ = t.tx.send(Err(ServeError::DeadlineExceeded { waited }));
+    }
+}
+
 /// Cloneable client handle: submit requests and read metrics from any
 /// thread.
 #[derive(Clone)]
 pub struct ServeHandle {
-    queue: Arc<BoundedQueue<Ticket>>,
+    queue: Arc<SloQueue<Ticket>>,
     mapper: Arc<BudgetMapper>,
     metrics: Arc<Mutex<MetricsState>>,
+    shed: ShedConfig,
+    chaos: Option<Arc<ChaosMonkey>>,
     default_deadline: Duration,
 }
 
@@ -437,33 +560,82 @@ impl std::fmt::Debug for ServeHandle {
 }
 
 impl ServeHandle {
-    /// Admits a request: plans its budget, stamps its deadline, and
-    /// enqueues it.
+    /// Admits a request: plans its budget, applies the
+    /// degrade-before-shed policy at the current queue pressure, stamps
+    /// its deadline, and enqueues it into its priority lane.
     ///
     /// # Errors
     ///
     /// [`ServeError::Budget`], [`ServeError::BadInput`],
-    /// [`ServeError::QueueFull`], or [`ServeError::ShuttingDown`] — all
-    /// decided synchronously at admission.
+    /// [`ServeError::Overloaded`], [`ServeError::QueueFull`], or
+    /// [`ServeError::ShuttingDown`] — all decided synchronously at
+    /// admission.
     pub fn submit(&self, req: InferRequest) -> Result<PendingResponse, ServeError> {
-        let plan = self.mapper.plan(req.budget).map_err(|e| {
+        let mut plan = self.mapper.plan(req.budget).map_err(|e| {
             self.metrics.lock().expect("metrics lock").infeasible += 1;
             ServeError::from(e)
         })?;
         let input = normalize_input(req.input)?;
+        let pressure = self.queue.pressure();
+        let mut degraded = false;
+        match self.shed.decision(pressure, req.priority) {
+            ShedDecision::Admit => {}
+            ShedDecision::Degrade(floor_scale) => {
+                // Only ever prune *more* than the budget plan chose: a
+                // request already cheaper than the degrade floor is
+                // admitted unchanged, so budgets keep being respected.
+                if floor_scale > plan.scale {
+                    plan = self.mapper.plan_at_scale(floor_scale);
+                    degraded = true;
+                }
+            }
+            ShedDecision::Shed => {
+                self.metrics.lock().expect("metrics lock").shed += 1;
+                if antidote_obs::enabled() {
+                    antidote_obs::counter_add("serve.shed", 1);
+                }
+                return Err(ServeError::Overloaded {
+                    pressure,
+                    priority: req.priority,
+                });
+            }
+        }
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket {
             input,
             budget: req.budget,
             plan,
+            priority: req.priority,
+            degraded,
             fault: req.fault,
             enqueued_at: now,
             deadline: now + req.deadline.unwrap_or(self.default_deadline),
             tx,
         };
-        match self.queue.try_push(ticket) {
-            Ok(()) => Ok(PendingResponse { rx }),
+        let push = self.queue.try_push(ticket);
+        fail_expired(&self.metrics, push.expired);
+        match push.result {
+            Ok(victim) => {
+                {
+                    let mut m = self.metrics.lock().expect("metrics lock");
+                    if degraded {
+                        m.degraded += 1;
+                    }
+                    if victim.is_some() {
+                        m.evicted += 1;
+                    }
+                }
+                if let Some(v) = victim {
+                    // Displaced by a higher-priority arrival at a full
+                    // queue: a typed overload rejection, not a silent drop.
+                    let _ = v.tx.send(Err(ServeError::Overloaded {
+                        pressure: 1.0,
+                        priority: v.priority,
+                    }));
+                }
+                Ok(PendingResponse { rx })
+            }
             Err(PushError::Full(_)) => {
                 self.metrics.lock().expect("metrics lock").rejected_full += 1;
                 Err(ServeError::QueueFull {
@@ -484,12 +656,19 @@ impl ServeHandle {
         self.mapper.floor_macs()
     }
 
+    /// Current queue pressure (depth / capacity) — the signal driving
+    /// the degrade-before-shed policy.
+    pub fn pressure(&self) -> f64 {
+        self.queue.pressure()
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> ServeMetrics {
+        let chaos_kills = self.chaos.as_ref().map_or(0, |m| m.kills());
         self.metrics
             .lock()
             .expect("metrics lock")
-            .snapshot(self.queue.len())
+            .snapshot(self.queue.len(), chaos_kills)
     }
 }
 
@@ -511,7 +690,7 @@ fn normalize_input(input: Tensor) -> Result<Tensor, ServeError> {
 /// The running engine: owns the worker threads.
 pub struct ServeEngine {
     handle: ServeHandle,
-    queue: Arc<BoundedQueue<Ticket>>,
+    queue: Arc<SloQueue<Ticket>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -532,7 +711,8 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`ServeConfigError`] for zero-sized workers/batch/queue.
+    /// [`ServeConfigError`] for zero-sized workers/batch/queue or
+    /// invalid shed watermarks.
     ///
     /// # Panics
     ///
@@ -547,8 +727,11 @@ impl ServeEngine {
             probe.taps(),
             cfg.base_schedule.clone(),
         ));
-        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let queue = Arc::new(SloQueue::new(cfg.queue_capacity, Priority::COUNT));
         let metrics = Arc::new(Mutex::new(MetricsState::new(cfg.max_batch)));
+        let monkey = cfg
+            .chaos
+            .map(|chaos| Arc::new(ChaosMonkey::new(chaos, cfg.workers)));
         let mut replicas = vec![probe];
         for w in 1..cfg.workers {
             replicas.push(factory(w));
@@ -561,12 +744,16 @@ impl ServeEngine {
                 let metrics = Arc::clone(&metrics);
                 let mapper = Arc::clone(&mapper);
                 let factory = Arc::clone(&factory);
+                let monkey = monkey.clone();
                 let max_batch = cfg.max_batch;
                 let max_wait = cfg.max_wait;
                 std::thread::Builder::new()
                     .name(format!("antidote-serve-{id}"))
                     .spawn(move || {
-                        worker_loop(id, replica, factory, queue, metrics, mapper, max_batch, max_wait)
+                        worker_loop(
+                            id, replica, factory, queue, metrics, mapper, monkey, max_batch,
+                            max_wait,
+                        )
                     })
                     .expect("failed to spawn serve worker")
             })
@@ -575,6 +762,8 @@ impl ServeEngine {
             queue: Arc::clone(&queue),
             mapper,
             metrics,
+            shed: cfg.shed,
+            chaos: monkey,
             default_deadline: cfg.default_deadline,
         };
         Ok(Self {
@@ -615,34 +804,50 @@ impl Drop for ServeEngine {
 }
 
 /// One worker: pop → coalesce → (maybe) fail injected faults → forward →
-/// respond. Panics are contained per batch; the replica is rebuilt from
-/// the factory afterwards so later batches never see a half-updated
-/// model.
+/// respond. Panics — injected, chaos-induced, or genuine — are contained
+/// per batch; the replica is rebuilt from the factory afterwards so later
+/// batches never see a half-updated model. Expired requests swept out by
+/// the queue are failed with typed errors as soon as they surface and
+/// never occupy a batch slot.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     id: usize,
     mut model: Box<dyn Network>,
     factory: ModelFactory,
-    queue: Arc<BoundedQueue<Ticket>>,
+    queue: Arc<SloQueue<Ticket>>,
     metrics: Arc<Mutex<MetricsState>>,
     mapper: Arc<BudgetMapper>,
+    monkey: Option<Arc<ChaosMonkey>>,
     max_batch: usize,
     max_wait: Duration,
 ) {
     loop {
-        let first = match queue.pop_blocking() {
-            Popped::Item(t) => t,
-            Popped::Closed => return,
-            Popped::TimedOut => continue,
+        // Block for the batch's first request, delivering typed errors
+        // for any expired entries the queue sweeps out while we wait.
+        let first = loop {
+            let pop = queue.pop_until(None);
+            fail_expired(&metrics, pop.expired);
+            if let Some(t) = pop.item {
+                break t;
+            }
+            if pop.closed {
+                return;
+            }
         };
         // The batch window opens with the first request and closes after
         // max_wait or once the batch is full.
         let window_end = Instant::now() + max_wait;
         let mut batch = vec![first];
         while batch.len() < max_batch {
-            match queue.pop_until(window_end) {
-                Popped::Item(t) => batch.push(t),
-                Popped::TimedOut | Popped::Closed => break,
+            let pop = queue.pop_until(Some(window_end));
+            fail_expired(&metrics, pop.expired);
+            match pop.item {
+                Some(t) => batch.push(t),
+                // An empty pop with expired entries returned early so
+                // their rejections went out promptly; keep collecting
+                // until the window genuinely closes.
+                None if pop.closed || Instant::now() >= window_end => break,
+                None => {}
             }
         }
         let launched_at = Instant::now();
@@ -665,7 +870,7 @@ fn worker_loop(
         }
         for t in expired {
             let waited = launched_at.duration_since(t.enqueued_at);
-            let _ = t.tx.send(Err(ServeError::DeadlineExpired { waited }));
+            let _ = t.tx.send(Err(ServeError::DeadlineExceeded { waited }));
         }
         if live.is_empty() {
             continue; // zero-size batch: nothing left to run
@@ -689,6 +894,9 @@ fn worker_loop(
                 std::thread::sleep(Duration::from_millis(stall_ms));
             }
             assert!(!inject_panic, "injected worker fault");
+            if let Some(m) = &monkey {
+                assert!(!m.should_kill(id), "chaos-induced replica kill");
+            }
             let batch_input =
                 Tensor::concat0(&inputs).expect("admitted inputs share one shape");
             let mut hook = MixedBatchPruner::new(schedules, tap_count);
@@ -716,6 +924,8 @@ fn worker_loop(
                         scheduled_macs: t.plan.predicted_macs,
                         achieved_macs: achieved,
                         schedule_scale: t.plan.scale,
+                        degraded: t.degraded,
+                        priority: t.priority,
                         batch_size: n,
                         worker: id,
                         queue_wait,
@@ -755,11 +965,20 @@ mod tests {
         assert!(ServeConfig { queue_capacity: 0, ..ServeConfig::default() }
             .validate()
             .is_err());
+        assert_eq!(
+            ServeConfig {
+                shed: ShedConfig { degrade_watermark: 0.9, shed_watermark: 0.5 },
+                ..ServeConfig::default()
+            }
+            .validate(),
+            Err(ServeConfigError::BadWatermarks)
+        );
         assert!(ServeConfig::default().validate().is_ok());
         assert_eq!(
             ServeConfigError::ZeroWorkers.to_string(),
             "engine needs at least one worker"
         );
+        assert!(ServeConfigError::BadWatermarks.to_string().contains("watermarks"));
     }
 
     #[test]
@@ -794,6 +1013,30 @@ mod tests {
     }
 
     #[test]
+    fn shed_and_chaos_env_overrides_apply() {
+        std::env::set_var("ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK", "0.3");
+        std::env::set_var("ANTIDOTE_SERVE_SHED_WATERMARK", "0.6");
+        std::env::set_var("ANTIDOTE_CHAOS_KILL_EVERY_MS", "25");
+        let cfg = ServeConfig::default().with_env_overrides();
+        assert_eq!(cfg.shed.degrade_watermark, 0.3);
+        assert_eq!(cfg.shed.shed_watermark, 0.6);
+        assert_eq!(
+            cfg.chaos.map(|c| c.kill_every),
+            Some(Duration::from_millis(25))
+        );
+        // Out-of-range watermark (> 1) is warn-and-ignored.
+        std::env::set_var("ANTIDOTE_SERVE_SHED_WATERMARK", "1.5");
+        let cfg = ServeConfig::default().with_env_overrides();
+        assert_eq!(cfg.shed.shed_watermark, ShedConfig::default().shed_watermark);
+        std::env::remove_var("ANTIDOTE_SERVE_SHED_DEGRADE_WATERMARK");
+        std::env::remove_var("ANTIDOTE_SERVE_SHED_WATERMARK");
+        std::env::remove_var("ANTIDOTE_CHAOS_KILL_EVERY_MS");
+        let cfg = ServeConfig::default().with_env_overrides();
+        assert_eq!(cfg.shed, ShedConfig::default());
+        assert_eq!(cfg.chaos, None);
+    }
+
+    #[test]
     fn normalize_input_accepts_chw_and_1chw() {
         assert_eq!(
             normalize_input(Tensor::zeros([3, 8, 8])).unwrap().dims(),
@@ -815,13 +1058,13 @@ mod tests {
 
     #[test]
     fn error_stages_and_failure_records() {
-        let e = ServeError::DeadlineExpired {
+        let e = ServeError::DeadlineExceeded {
             waited: Duration::from_millis(7),
         };
         assert_eq!(e.stage(), "deadline");
         let rec = e.failure_record("serve_bench");
         assert_eq!(rec.stage, "deadline");
-        assert!(rec.error.contains("deadline expired"));
+        assert!(rec.error.contains("deadline exceeded"));
         assert_eq!(
             ServeError::QueueFull { capacity: 4 }.stage(),
             "admission-queue"
@@ -831,5 +1074,19 @@ mod tests {
             "admission-budget"
         );
         assert_eq!(ServeError::WorkerPanicked { worker: 3 }.stage(), "worker-panic");
+        let shed = ServeError::Overloaded {
+            pressure: 0.9,
+            priority: Priority::Batch,
+        };
+        assert_eq!(shed.stage(), "overload-shed");
+        assert!(shed.to_string().contains("batch request shed"));
+    }
+
+    #[test]
+    fn request_builder_sets_priority() {
+        let req = InferRequest::new(Tensor::zeros([3, 8, 8]));
+        assert_eq!(req.priority, Priority::Standard);
+        let req = req.with_priority(Priority::Interactive);
+        assert_eq!(req.priority, Priority::Interactive);
     }
 }

@@ -12,16 +12,25 @@
 //!    least aggressive scaling of the operator's base
 //!    [`antidote_core::PruneSchedule`]
 //!    that fits, or rejects it with a typed error.
-//! 2. **Bounded queue** ([`queue::BoundedQueue`]): backpressure instead
-//!    of unbounded growth; per-request deadlines expire while queued.
-//! 3. **Micro-batcher + worker pool** ([`ServeEngine`]): `N`
+//! 2. **Overload policy** ([`shed::ShedConfig`]): under queue pressure,
+//!    admission first *degrades* requests to cheaper schedule scales
+//!    (serve at fewer MACs rather than fail — the paper's
+//!    compute-is-a-knob premise applied to overload), then sheds
+//!    low-priority work with typed `Overloaded` errors.
+//! 3. **SLO-aware queue** ([`queue::SloQueue`]): bounded priority lanes
+//!    with earliest-deadline-first order; a request whose deadline
+//!    passes while queued is rejected with a typed `DeadlineExceeded`
+//!    at dequeue and never wastes a batch slot.
+//! 4. **Micro-batcher + worker pool** ([`ServeEngine`]): `N`
 //!    `std::thread` workers, each owning a private model replica, pop
 //!    requests and coalesce them up to `max_batch`/`max_wait`, then run
 //!    one masked forward pass with per-item schedules
-//!    ([`batch::MixedBatchPruner`]).
-//! 4. **Observability** ([`metrics::ServeMetrics`]): throughput,
-//!    latency/queue-wait percentiles, batch-size histogram, achieved
-//!    FLOPs vs budget — serializable to JSON.
+//!    ([`batch::MixedBatchPruner`]). Panics are contained per batch and
+//!    replicas rebuilt; [`chaos::ChaosMonkey`] can inject such kills on
+//!    a schedule to keep that path continuously exercised.
+//! 5. **Observability** ([`metrics::ServeMetrics`]): throughput,
+//!    latency/queue-wait percentiles, batch-size histogram, shed and
+//!    degrade rates, achieved FLOPs vs budget — serializable to JSON.
 //!
 //! Std-only by design: the build environment vendors its dependencies
 //! offline, so there is no async runtime — concurrency is
@@ -64,14 +73,19 @@
 
 pub mod batch;
 pub mod budget;
+pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod queue;
+pub mod shed;
 
 pub use batch::MixedBatchPruner;
 pub use budget::{BudgetError, BudgetMapper, BudgetPlan};
+pub use chaos::{ChaosConfig, ChaosMonkey};
 pub use engine::{
     Fault, InferRequest, InferResponse, ModelFactory, PendingResponse, QuantMode, ServeConfig,
     ServeConfigError, ServeEngine, ServeError, ServeHandle,
 };
 pub use metrics::{percentile, LatencySummary, ServeMetrics};
+pub use queue::{Scheduled, SloQueue};
+pub use shed::{Priority, ShedConfig, ShedDecision};

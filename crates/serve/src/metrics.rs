@@ -90,8 +90,22 @@ pub struct ServeMetrics {
     pub completed: u64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_full: u64,
-    /// Requests whose deadline expired while queued/batching.
+    /// Requests whose deadline expired while queued/batching. Expired
+    /// requests are rejected with a typed `DeadlineExceeded` at dequeue
+    /// and never consume a batch slot.
     pub expired: u64,
+    /// Requests shed at admission under queue pressure (typed
+    /// `Overloaded` response; see the degrade-before-shed policy).
+    pub shed: u64,
+    /// Queued requests displaced by higher-priority arrivals at a full
+    /// queue (also a typed `Overloaded` response).
+    pub evicted: u64,
+    /// Requests admitted but degraded to a cheaper schedule scale under
+    /// queue pressure (served, with `degraded = true` in the response).
+    pub degraded: u64,
+    /// Chaos-mode replica kills fired (0 unless `ANTIDOTE_CHAOS_*` is
+    /// enabled).
+    pub chaos_kills: u64,
     /// Requests rejected because their budget was below the floor of the
     /// most aggressive allowed schedule.
     pub infeasible: u64,
@@ -141,9 +155,39 @@ impl ServeMetrics {
     }
 
     /// Requests that received *some* terminal outcome (completion or a
-    /// typed failure).
+    /// typed failure) after admission. Evicted requests count — they
+    /// were queued, then failed with a typed `Overloaded`; shed requests
+    /// do not, since they were rejected synchronously at admission.
     pub fn resolved(&self) -> u64 {
-        self.completed + self.expired + self.panicked
+        self.completed + self.expired + self.panicked + self.evicted
+    }
+
+    /// Everything that asked for service: admitted work plus every
+    /// synchronous admission rejection.
+    pub fn offered(&self) -> u64 {
+        self.resolved() + self.rejected_full + self.infeasible + self.shed
+    }
+
+    /// Fraction of offered requests rejected for overload (shed at
+    /// admission or displaced from the queue).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            (self.shed + self.evicted) as f64 / offered as f64
+        }
+    }
+
+    /// Fraction of offered requests served at a degraded (cheaper)
+    /// schedule scale.
+    pub fn degrade_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.degraded as f64 / offered as f64
+        }
     }
 }
 
@@ -155,6 +199,9 @@ pub(crate) struct MetricsState {
     pub completed: u64,
     pub rejected_full: u64,
     pub expired: u64,
+    pub shed: u64,
+    pub evicted: u64,
+    pub degraded: u64,
     pub infeasible: u64,
     pub panicked: u64,
     pub worker_panics: u64,
@@ -176,6 +223,9 @@ impl MetricsState {
             completed: 0,
             rejected_full: 0,
             expired: 0,
+            shed: 0,
+            evicted: 0,
+            degraded: 0,
             infeasible: 0,
             panicked: 0,
             worker_panics: 0,
@@ -218,7 +268,7 @@ impl MetricsState {
         }
     }
 
-    pub fn snapshot(&self, queue_depth: usize) -> ServeMetrics {
+    pub fn snapshot(&self, queue_depth: usize, chaos_kills: u64) -> ServeMetrics {
         let elapsed = self.started_at.elapsed().as_secs_f64();
         let live_batches: u64 = self.batch_histogram.iter().skip(1).sum();
         let live_requests: u64 = self
@@ -231,6 +281,10 @@ impl MetricsState {
             completed: self.completed,
             rejected_full: self.rejected_full,
             expired: self.expired,
+            shed: self.shed,
+            evicted: self.evicted,
+            degraded: self.degraded,
+            chaos_kills,
             infeasible: self.infeasible,
             panicked: self.panicked,
             worker_panics: self.worker_panics,
@@ -332,16 +386,36 @@ mod tests {
             );
         }
         st.measured_macs_total = 120;
-        let snap = st.snapshot(1);
+        st.shed = 2;
+        st.evicted = 1;
+        st.degraded = 2;
+        let snap = st.snapshot(1, 4);
         assert_eq!(snap.completed, 3);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.evicted, 1);
+        assert_eq!(snap.degraded, 2);
+        assert_eq!(snap.chaos_kills, 4);
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.batch_histogram, vec![1, 0, 0, 1, 0]);
         assert!((snap.mean_batch_size - 3.0).abs() < 1e-12);
         assert!((snap.budget.mean_utilization - 0.5).abs() < 1e-12);
         assert!((snap.budget.max_utilization - 0.5).abs() < 1e-12);
         assert_eq!(snap.queue_depth, 1);
-        assert_eq!(snap.resolved(), 3);
+        // resolved = completed + expired + panicked + evicted.
+        assert_eq!(snap.resolved(), 4);
+        // offered adds admission rejections: + shed (2).
+        assert_eq!(snap.offered(), 6);
+        assert!((snap.shed_rate() - 3.0 / 6.0).abs() < 1e-12);
+        assert!((snap.degrade_rate() - 2.0 / 6.0).abs() < 1e-12);
         let back = ServeMetrics::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rates_are_zero_on_empty_metrics() {
+        let snap = ServeMetrics::default();
+        assert_eq!(snap.offered(), 0);
+        assert_eq!(snap.shed_rate(), 0.0);
+        assert_eq!(snap.degrade_rate(), 0.0);
     }
 }

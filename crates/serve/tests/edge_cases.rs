@@ -5,7 +5,8 @@
 use antidote_core::PruneSchedule;
 use antidote_models::{Vgg, VggConfig};
 use antidote_serve::{
-    Fault, InferRequest, ModelFactory, ServeConfig, ServeConfigError, ServeEngine, ServeError,
+    Fault, InferRequest, ModelFactory, Priority, ServeConfig, ServeConfigError, ServeEngine,
+    ServeError,
 };
 use antidote_tensor::Tensor;
 use rand::rngs::SmallRng;
@@ -56,10 +57,12 @@ fn zero_sized_configs_are_rejected() {
 }
 
 #[test]
-fn deadline_expiry_while_queued_is_typed_and_batch_may_be_empty() {
-    // One worker stalled by a sleep fault; everything queued behind it
-    // with a tiny deadline must expire while queued — producing the
-    // engine's zero-live-batch path — and the engine must keep serving.
+fn deadline_expiry_while_queued_is_typed_and_never_consumes_batch_slots() {
+    // Regression for the queue deadline semantics: one worker stalled by
+    // a sleep fault; everything queued behind it with a tiny deadline
+    // must expire while queued and be rejected with a typed
+    // `DeadlineExceeded` *at dequeue* — never forwarded into a batch, so
+    // no batch slot (and no zero-live batch) is ever spent on them.
     let engine = ServeEngine::start(base_config(), tiny_factory(2)).unwrap();
     let handle = engine.handle();
     let slow = handle
@@ -83,21 +86,34 @@ fn deadline_expiry_while_queued_is_typed_and_batch_may_be_empty() {
     assert!(slow.wait().is_ok(), "stalled request itself must complete");
     for pending in doomed {
         match pending.wait() {
-            Err(ServeError::DeadlineExpired { waited }) => {
+            Err(ServeError::DeadlineExceeded { waited }) => {
                 assert!(waited >= Duration::from_millis(10));
             }
-            other => panic!("expected DeadlineExpired, got {other:?}"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
     }
-    // Engine is still healthy after an expired (possibly zero-live) batch.
-    let ok = handle.submit(InferRequest::new(input())).unwrap();
-    assert!(ok.wait().is_ok());
+    // Engine is still healthy after sweeping the expired requests.
+    let ok = handle.submit(InferRequest::new(input())).unwrap().wait().unwrap();
+    assert_eq!(
+        ok.batch_size, 1,
+        "expired requests must not share (or pad) a live batch"
+    );
     let metrics = engine.shutdown();
     assert_eq!(metrics.expired, 2);
     assert_eq!(metrics.completed, 2);
     assert_eq!(
-        metrics.batch_histogram[0], metrics.batches - 2,
-        "expired-only windows must be recorded as zero-live batches"
+        metrics.batch_histogram[0], 0,
+        "eager expiry must reject stale requests at dequeue, not launch empty batches"
+    );
+    let batched: u64 = metrics
+        .batch_histogram
+        .iter()
+        .enumerate()
+        .map(|(k, &n)| k as u64 * n)
+        .sum();
+    assert_eq!(
+        batched, metrics.completed,
+        "only live (eventually completed) requests may occupy batch slots"
     );
 }
 
@@ -117,9 +133,26 @@ fn full_queue_rejects_with_backpressure() {
         })
         .unwrap();
     std::thread::sleep(Duration::from_millis(30));
-    let q1 = handle.submit(InferRequest::new(input())).unwrap();
-    let q2 = handle.submit(InferRequest::new(input())).unwrap();
-    let rejected = handle.submit(InferRequest::new(input()));
+    // Fill the queue with interactive (never-shed) requests so admission
+    // reaches the queue itself rather than the shed policy.
+    let q1 = handle
+        .submit(InferRequest::new(input()).with_priority(Priority::Interactive))
+        .unwrap();
+    let q2 = handle
+        .submit(InferRequest::new(input()).with_priority(Priority::Interactive))
+        .unwrap();
+    // A standard-priority arrival at a saturated queue is shed with a
+    // typed Overloaded (degrade-before-shed policy)...
+    match handle.submit(InferRequest::new(input())) {
+        Err(ServeError::Overloaded { pressure, priority }) => {
+            assert!(pressure >= 0.9);
+            assert_eq!(priority, Priority::Standard);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // ...while an interactive arrival — which is never shed and finds no
+    // lower-priority victim to displace — sees plain backpressure.
+    let rejected = handle.submit(InferRequest::new(input()).with_priority(Priority::Interactive));
     match rejected {
         Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 2),
         other => panic!("expected QueueFull, got {other:?}"),
@@ -129,6 +162,7 @@ fn full_queue_rejects_with_backpressure() {
     }
     let metrics = engine.shutdown();
     assert_eq!(metrics.rejected_full, 1);
+    assert_eq!(metrics.shed, 1);
     assert_eq!(metrics.completed, 3);
 }
 

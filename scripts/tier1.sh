@@ -11,9 +11,17 @@ cargo build --release
 ANTIDOTE_THREADS=1 cargo test -q
 ANTIDOTE_THREADS=4 cargo test -q
 cargo clippy --workspace -- -D warnings
-# Serving-path regression gate: deterministic closed-loop load; fails on
+# Serving-path regression gate: deterministic open-loop load; fails on
 # any dropped request, unexpected error, or budget overshoot.
 cargo run --release -p antidote-bench --bin serve_bench -- --smoke
+# Overload-survival gate: open-loop traces driven past measured capacity
+# plus a chaos phase with replicas killed mid-burst. Fails on any
+# untyped terminal state, degrade-after-shed ordering, unaccounted
+# kills, or a chaos p99 beyond the deadline-derived bound. Run at both
+# thread budgets like the test suite: the shed/degrade/chaos paths must
+# not be budget-sensitive.
+ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin overload_bench -- --smoke
+ANTIDOTE_THREADS=4 cargo run --release -p antidote-bench --bin overload_bench -- --smoke
 # Observability gates: disabled obs must not slow the dense forward path
 # (ratio bound, see DESIGN.md §9), and the per-layer profile must be
 # internally consistent (time%/MACs% sum to 100, attribution exact).
