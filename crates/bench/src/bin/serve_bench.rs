@@ -167,20 +167,11 @@ fn run_load(cfg: ServeConfig, seed: u64, phases: &[PhaseSpec]) -> LoadOutcome {
 }
 
 fn print_summary(label: &str, out: &LoadOutcome) {
-    let m = &out.metrics;
     println!("--- {label} ---");
-    println!(
-        "offered {} | completed {} | rejected {} | expired {} | shed {} | infeasible {} | panicked {}",
-        out.offered, m.completed, m.rejected_full, m.expired, m.shed, m.infeasible, m.panicked
-    );
-    println!(
-        "goodput {:.1} req/s | mean batch {:.2} | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
-        out.goodput_rps, m.mean_batch_size, m.latency.p50_ms, m.latency.p95_ms, m.latency.p99_ms
-    );
-    println!(
-        "budgeted {} | mean budget utilization {:.3} | max {:.3}",
-        m.budget.budgeted_requests, m.budget.mean_utilization, m.budget.max_utilization
-    );
+    println!("offered {} | goodput {:.1} req/s", out.offered, out.goodput_rps);
+    // The per-snapshot shape is shared with http_bench and /metrics
+    // consumers via `ServeMetrics::summary_line`.
+    println!("{}", out.metrics.summary_line());
 }
 
 fn main() {

@@ -1,0 +1,478 @@
+//! Minimal HTTP/1.1 request parsing and response writing over blocking
+//! `std::net` streams — no external dependencies, matching the
+//! workspace's vendored-deps policy.
+//!
+//! The parser is deliberately small: request line + headers (bounded),
+//! then a `Content-Length`-framed body (bounded). Everything a hostile
+//! client can do wrong maps to a typed [`RecvError`] so the server
+//! layer can answer with the right status code instead of stalling a
+//! connection worker:
+//!
+//! - header/body bytes beyond the configured caps → [`RecvError::TooLarge`];
+//! - a request that does not arrive in full before the read deadline
+//!   (slow loris) → [`RecvError::Timeout`];
+//! - a connection that closes mid-request → [`RecvError::Disconnected`]
+//!   (or [`RecvError::Idle`] if not a single byte arrived — a cleanly
+//!   closed keep-alive connection, not an error);
+//! - malformed framing → [`RecvError::BadRequest`];
+//! - bodies without `Content-Length` → [`RecvError::LengthRequired`],
+//!   `Transfer-Encoding: chunked` → [`RecvError::UnsupportedEncoding`].
+//!
+//! The read deadline is *absolute*: the stream's read timeout is
+//! re-armed with the remaining budget before every `read`, so a client
+//! dripping one byte per second cannot hold a worker past the deadline
+//! no matter how many reads succeed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Upper bound on request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// `true` when the client asked to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Typed failure while receiving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No byte of a next request arrived before the deadline or the
+    /// peer closed cleanly between requests — close without a response.
+    Idle,
+    /// The request did not arrive in full before the read deadline
+    /// (slow-loris or genuinely stalled client) → `408`.
+    Timeout,
+    /// Head or body exceeds the configured byte cap → `431`/`413`.
+    TooLarge {
+        /// Which part overflowed: `"head"` or `"body"`.
+        part: &'static str,
+        /// The configured cap, bytes.
+        limit: usize,
+    },
+    /// Malformed request line, header framing, or protocol violation
+    /// → `400`.
+    BadRequest(String),
+    /// A body-bearing request without `Content-Length` → `411`.
+    LengthRequired,
+    /// `Transfer-Encoding` is not supported by this server → `501`.
+    UnsupportedEncoding,
+    /// The peer vanished mid-request — close without a response.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Idle => write!(f, "connection idle"),
+            RecvError::Timeout => write!(f, "request did not complete before the read deadline"),
+            RecvError::TooLarge { part, limit } => {
+                write!(f, "request {part} exceeds the {limit}-byte cap")
+            }
+            RecvError::BadRequest(why) => write!(f, "malformed request: {why}"),
+            RecvError::LengthRequired => write!(f, "body-bearing request without Content-Length"),
+            RecvError::UnsupportedEncoding => write!(f, "unsupported Transfer-Encoding"),
+            RecvError::Disconnected => write!(f, "peer disconnected mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Blocking reader with an absolute deadline shared by every `read`.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineReader<'_> {
+    /// Reads into `buf`, returning `Ok(0)` on EOF. `Err(Timeout)` once
+    /// the absolute deadline passes, `Err(Disconnected)` on hard I/O
+    /// errors.
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, RecvError> {
+        let now = Instant::now();
+        let remaining = self.deadline.saturating_duration_since(now);
+        if remaining.is_zero() {
+            return Err(RecvError::Timeout);
+        }
+        // set_read_timeout(Some(ZERO)) is an error; remaining > 0 here.
+        self.stream
+            .set_read_timeout(Some(remaining))
+            .map_err(|_| RecvError::Disconnected)?;
+        let mut stream: &TcpStream = self.stream;
+        match stream.read(buf) {
+            Ok(n) => Ok(n),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(RecvError::Timeout)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(_) => Err(RecvError::Disconnected),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing the absolute
+/// `deadline` and the `max_body` byte cap.
+///
+/// # Errors
+///
+/// A typed [`RecvError`]; see the module docs for the status-code
+/// mapping the server applies.
+pub fn read_request(
+    stream: &TcpStream,
+    deadline: Instant,
+    max_body: usize,
+) -> Result<Request, RecvError> {
+    let mut reader = DeadlineReader { stream, deadline };
+    // Accumulate until the blank line ending the head. `buf` may pick up
+    // the start of the body; the leftover is carried into the body read.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(RecvError::TooLarge {
+                part: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let mut chunk = [0u8; 1024];
+        let n = reader.read_some(&mut chunk)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                RecvError::Idle
+            } else {
+                RecvError::Disconnected
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RecvError::BadRequest("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RecvError::BadRequest(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RecvError::BadRequest(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(RecvError::TooLarge {
+                part: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::BadRequest(format!("bad header line `{line}`")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(RecvError::BadRequest(format!("bad header name `{name}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(RecvError::UnsupportedEncoding);
+    }
+    let method = method.to_ascii_uppercase();
+    let content_length = match header("content-length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| RecvError::BadRequest(format!("bad Content-Length `{v}`")))?,
+        // GET/HEAD/DELETE carry no body; a POST/PUT without a length is
+        // a framing error the client must fix.
+        None if matches!(method.as_str(), "POST" | "PUT" | "PATCH") => {
+            return Err(RecvError::LengthRequired)
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(RecvError::TooLarge {
+            part: "body",
+            limit: max_body,
+        });
+    }
+    // Body bytes already read past the head, then the rest off the wire.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes are a protocol misuse for this server;
+        // reject rather than desync the framing.
+        return Err(RecvError::BadRequest("bytes beyond Content-Length".into()));
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = reader.read_some(&mut chunk)?;
+        if n == 0 {
+            return Err(RecvError::Disconnected);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(v) if v == "close" => false,
+        Some(v) if v == "keep-alive" => true,
+        _ => version == "HTTP/1.1",
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response. `extra_headers` are raw
+/// `Name: value` pairs (e.g. `Retry-After`). Returns `Err` on a broken
+/// pipe (client already gone) — callers log-and-close, never panic.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// A connected (client, server) socket pair on the loopback.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn deadline() -> Instant {
+        Instant::now() + Duration::from_millis(500)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let (mut client, server) = pair();
+        client
+            .write_all(
+                b"POST /v1/infer?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nabcd",
+            )
+            .unwrap();
+        let req = read_request(&server, deadline(), 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/infer");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("t"));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let req = read_request(&server, deadline(), 1024).unwrap();
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+            .unwrap();
+        assert_eq!(
+            read_request(&server, deadline(), 1024),
+            Err(RecvError::TooLarge { part: "body", limit: 1024 })
+        );
+    }
+
+    #[test]
+    fn slow_client_times_out_at_the_absolute_deadline() {
+        let (mut client, server) = pair();
+        client.write_all(b"POST /v1/infer HTT").unwrap();
+        let start = Instant::now();
+        let err = read_request(&server, Instant::now() + Duration::from_millis(80), 1024);
+        assert_eq!(err, Err(RecvError::Timeout));
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn disconnect_mid_request_is_typed() {
+        let (mut client, server) = pair();
+        client.write_all(b"POST /x HTTP/1.1\r\nContent-").unwrap();
+        drop(client);
+        assert_eq!(
+            read_request(&server, deadline(), 1024),
+            Err(RecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn clean_close_before_any_byte_is_idle() {
+        let (client, server) = pair();
+        drop(client);
+        assert_eq!(read_request(&server, deadline(), 1024), Err(RecvError::Idle));
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        for raw in [
+            "NOT-A-REQUEST\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let (mut client, server) = pair();
+            client.write_all(raw.as_bytes()).unwrap();
+            assert!(
+                matches!(read_request(&server, deadline(), 1024), Err(RecvError::BadRequest(_))),
+                "raw = {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn post_without_length_requires_length() {
+        let (mut client, server) = pair();
+        client.write_all(b"POST /x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(
+            read_request(&server, deadline(), 1024),
+            Err(RecvError::LengthRequired)
+        );
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected() {
+        let (mut client, server) = pair();
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        assert_eq!(
+            read_request(&server, deadline(), 1024),
+            Err(RecvError::UnsupportedEncoding)
+        );
+    }
+
+    #[test]
+    fn giant_head_is_rejected() {
+        let (mut client, server) = pair();
+        let huge = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        client.write_all(huge.as_bytes()).unwrap();
+        assert!(matches!(
+            read_request(&server, deadline(), 1024),
+            Err(RecvError::TooLarge { part: "head", .. })
+        ));
+    }
+
+    #[test]
+    fn response_writer_emits_valid_http() {
+        let (mut client, mut server) = pair();
+        write_response(
+            &mut server,
+            429,
+            &[("retry-after", "1".to_string())],
+            "{\"error\":\"rate_limited\"}",
+            false,
+        )
+        .unwrap();
+        drop(server);
+        let mut raw = String::new();
+        client.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(raw.contains("retry-after: 1\r\n"));
+        assert!(raw.contains("connection: close"));
+        assert!(raw.ends_with("{\"error\":\"rate_limited\"}"));
+    }
+}

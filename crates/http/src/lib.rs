@@ -1,0 +1,68 @@
+//! Std-only HTTP/1.1 front-end for the AntiDote serving engine.
+//!
+//! The paper's premise — compute as a per-request runtime knob — only
+//! pays off if requests can actually *carry* their knobs. This crate is
+//! that last mile: a dependency-free HTTP server (no async runtime, no
+//! hyper — `std::net::TcpListener` and threads, per the workspace's
+//! vendored-deps policy) exposing the serving engine's budgets,
+//! deadlines, and priority lanes over a small JSON API.
+//!
+//! ```text
+//!   clients ──TCP──▶ [acceptor] ─▶ conn workers ─▶ router
+//!                                                   │ POST /v1/infer ─▶ [RateLimiter] ─▶ [ModelRegistry] ─▶ ServeEngine
+//!                                                   │ GET  /healthz
+//!                                                   │ GET  /metrics
+//! ```
+//!
+//! - [`http1`] — minimal request parsing with hostile-input limits and
+//!   an absolute read deadline (slow-loris defence);
+//! - [`api`] — the JSON wire types and the total
+//!   `ServeError` → status-code mapping;
+//! - [`registry`] — named model+schedule+dtype variants (fp32 / int8
+//!   twins), each on its own engine, routed per request;
+//! - [`ratelimit`] — per-client-IP token buckets → `429`;
+//! - [`server`] — accept loop, dedicated connection workers, routing,
+//!   and graceful drain (finish everything accepted, then drain the
+//!   engines).
+//!
+//! Every knob is an `ANTIDOTE_HTTP_*` environment variable following
+//! the repo's warn-and-ignore convention; see [`HttpConfig`]. DESIGN.md
+//! §13 documents the architecture and the full error mapping.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use antidote_http::{HttpConfig, HttpServer, ModelRegistry, ModelSpec};
+//! use antidote_models::{Vgg, VggConfig};
+//! use antidote_serve::ServeConfig;
+//! use std::sync::Arc;
+//!
+//! let registry = ModelRegistry::start(vec![ModelSpec {
+//!     name: "vgg-tiny-fp32".into(),
+//!     config: ServeConfig::from_env(),
+//!     factory: Arc::new(|_| {
+//!         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+//!         Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(32, 4)))
+//!     }),
+//! }])
+//! .expect("registry");
+//! let server = HttpServer::start(HttpConfig::from_env(), registry).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! // ... serve traffic ...
+//! let final_metrics = server.shutdown();
+//! assert_eq!(final_metrics.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http1;
+pub mod ratelimit;
+pub mod registry;
+pub mod server;
+
+pub use api::{serve_error_body, serve_error_status, ErrorBody, InferApiRequest, InferApiResponse};
+pub use ratelimit::{RateConfig, RateLimiter};
+pub use registry::{ModelEntry, ModelRegistry, ModelSpec, RegistryError};
+pub use server::{HttpConfig, HttpMetrics, HttpServer};

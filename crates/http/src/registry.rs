@@ -1,0 +1,291 @@
+//! The multi-model registry: named model+schedule+dtype variants, each
+//! backed by its own [`ServeEngine`], routed per request by name.
+//!
+//! Every registered variant is an independent serving stack — its own
+//! SLO queue, worker replicas, budget mapper, and metrics — so an
+//! overloaded variant degrades and sheds without touching its
+//! neighbours, and an fp32 model and its int8 twin
+//! (`ANTIDOTE_SERVE_QUANT=int8`-style deployments) can run
+//! side by side behind one listener. The first registered entry is the
+//! default route for requests that omit `model`.
+
+use antidote_serve::{
+    ModelFactory, QuantMode, ServeConfig, ServeConfigError, ServeEngine, ServeHandle,
+    ServeMetrics,
+};
+
+/// One variant to register: a unique name, the engine configuration it
+/// serves under (schedule, workers, queue, quant mode), and the replica
+/// factory.
+pub struct ModelSpec {
+    /// Unique registry name, e.g. `vgg-tiny-fp32`.
+    pub name: String,
+    /// Engine configuration for this variant.
+    pub config: ServeConfig,
+    /// Replica factory (must build identical replicas; see
+    /// [`ModelFactory`]).
+    pub factory: ModelFactory,
+}
+
+impl std::fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("name", &self.name)
+            .field("quant", &self.config.quant)
+            .finish()
+    }
+}
+
+/// A running registered variant.
+pub struct ModelEntry {
+    name: String,
+    quant: QuantMode,
+    handle: ServeHandle,
+    engine: ServeEngine,
+}
+
+impl ModelEntry {
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Numeric domain of this variant's replicas.
+    pub fn quant(&self) -> QuantMode {
+        self.quant
+    }
+
+    /// Cloneable client handle into this variant's engine.
+    pub fn handle(&self) -> &ServeHandle {
+        &self.handle
+    }
+
+    /// Point-in-time metrics for this variant.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.engine.metrics()
+    }
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("quant", &self.quant)
+            .finish()
+    }
+}
+
+/// Why a registry could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No specs were given — a server with nothing to serve.
+    Empty,
+    /// Two specs share a name; routes must be unambiguous.
+    DuplicateName(String),
+    /// A variant's engine configuration was rejected.
+    Engine {
+        /// Name of the offending spec.
+        model: String,
+        /// The underlying configuration error.
+        error: ServeConfigError,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Empty => write!(f, "registry needs at least one model"),
+            RegistryError::DuplicateName(name) => {
+                write!(f, "duplicate model name `{name}` in registry")
+            }
+            RegistryError::Engine { model, error } => {
+                write!(f, "model `{model}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry: started variants, routable by name.
+///
+/// Lookup is a linear scan — registries hold a handful of variants, and
+/// a scan over a short `Vec` beats a map's hashing for that size while
+/// keeping registration order (the first entry is the default route).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// Starts one engine per spec.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] on an empty spec list, duplicate names, or an
+    /// engine that refuses its configuration — in which case every
+    /// already-started engine is shut down before returning.
+    pub fn start(specs: Vec<ModelSpec>) -> Result<Self, RegistryError> {
+        if specs.is_empty() {
+            return Err(RegistryError::Empty);
+        }
+        let mut entries: Vec<ModelEntry> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            if entries.iter().any(|e| e.name == spec.name) {
+                return Err(RegistryError::DuplicateName(spec.name));
+            }
+            let quant = spec.config.quant;
+            let engine = match ServeEngine::start(spec.config, spec.factory) {
+                Ok(engine) => engine,
+                Err(error) => {
+                    // Entries drop here; ServeEngine::drop drains them.
+                    return Err(RegistryError::Engine {
+                        model: spec.name,
+                        error,
+                    });
+                }
+            };
+            if antidote_obs::enabled() {
+                let quant_label = quant.to_string();
+                antidote_obs::event(
+                    antidote_obs::Level::Info,
+                    "http.model_registered",
+                    &[
+                        ("model", antidote_obs::Value::Str(&spec.name)),
+                        ("quant", antidote_obs::Value::Str(&quant_label)),
+                    ],
+                );
+            }
+            entries.push(ModelEntry {
+                name: spec.name,
+                quant,
+                handle: engine.handle(),
+                engine,
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Routes a request: the named variant, or the default (first
+    /// registered) when `name` is `None`. `None` result means unknown
+    /// model — the server answers with a typed `404`.
+    pub fn route(&self, name: Option<&str>) -> Option<&ModelEntry> {
+        match name {
+            None => self.entries.first(),
+            Some(n) => self.entries.iter().find(|e| e.name == n),
+        }
+    }
+
+    /// The default (first registered) variant.
+    pub fn default_model(&self) -> &ModelEntry {
+        &self.entries[0]
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// All entries, registration order.
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// Per-variant metrics snapshots, registration order.
+    pub fn metrics(&self) -> Vec<(String, ServeMetrics)> {
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), e.metrics()))
+            .collect()
+    }
+
+    /// Graceful drain: shuts down every engine (stop admission, flush
+    /// in-flight work, join workers) and returns the final per-variant
+    /// metrics.
+    pub fn drain(self) -> Vec<(String, ServeMetrics)> {
+        self.entries
+            .into_iter()
+            .map(|e| (e.name, e.engine.shutdown()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antidote_models::{Vgg, VggConfig};
+    use antidote_serve::InferRequest;
+    use antidote_tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn tiny_factory(seed: u64) -> ModelFactory {
+        Arc::new(move |_worker| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3)))
+        })
+    }
+
+    fn spec(name: &str, seed: u64) -> ModelSpec {
+        ModelSpec {
+            name: name.to_string(),
+            config: ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            factory: tiny_factory(seed),
+        }
+    }
+
+    #[test]
+    fn empty_and_duplicate_specs_are_rejected() {
+        assert_eq!(ModelRegistry::start(vec![]).unwrap_err(), RegistryError::Empty);
+        let err = ModelRegistry::start(vec![spec("a", 1), spec("a", 2)]).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateName("a".to_string()));
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_engine_config_is_typed_with_the_model_name() {
+        let bad = ModelSpec {
+            name: "zero-workers".to_string(),
+            config: ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            factory: tiny_factory(1),
+        };
+        match ModelRegistry::start(vec![bad]) {
+            Err(RegistryError::Engine { model, .. }) => assert_eq!(model, "zero-workers"),
+            other => panic!("expected Engine error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routes_by_name_with_first_as_default() {
+        let registry =
+            ModelRegistry::start(vec![spec("first", 1), spec("second", 2)]).unwrap();
+        assert_eq!(registry.route(None).unwrap().name(), "first");
+        assert_eq!(registry.route(Some("second")).unwrap().name(), "second");
+        assert!(registry.route(Some("third")).is_none());
+        assert_eq!(registry.names(), vec!["first", "second"]);
+        assert_eq!(registry.default_model().name(), "first");
+
+        // Requests routed to different entries land on different engines.
+        let r = registry
+            .route(Some("second"))
+            .unwrap()
+            .handle()
+            .submit(InferRequest::new(Tensor::zeros([3, 8, 8])))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.batch_size, 1);
+        let m = registry.metrics();
+        assert_eq!(m[0].1.completed, 0, "default engine saw no traffic");
+        assert_eq!(m[1].1.completed, 1);
+        let drained = registry.drain();
+        assert_eq!(drained[1].1.completed, 1);
+    }
+}

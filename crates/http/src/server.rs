@@ -1,0 +1,685 @@
+//! The HTTP server: accept loop, connection workers, routing, and
+//! graceful drain.
+//!
+//! # Threading
+//!
+//! One acceptor thread blocks on [`TcpListener::accept`] and pushes
+//! connections onto a `Mutex<VecDeque>` + `Condvar` hand-off; a fixed
+//! pool of **dedicated** connection-worker threads pops and serves
+//! them. Connections deliberately do *not* run as `antidote-par` pool
+//! tasks: that pool's callers participate in draining the shared task
+//! queue, so a long-blocking connection task could capture an unrelated
+//! caller — e.g. a serve worker mid-GEMM fan-out — and stall inference
+//! behind socket I/O. Dedicated threads keep the compute pool free of
+//! blocking work; `antidote-par` only informs the default worker count.
+//!
+//! # Drain
+//!
+//! [`HttpServer::shutdown`] flips a `draining` flag, wakes the acceptor
+//! with a loopback self-connect, and lets the workers finish every
+//! already-accepted connection (keep-alive loops end with
+//! `Connection: close`) before the model registry drains its engines —
+//! stop admission, flush in-flight batches, join replicas. No accepted
+//! connection is ever reset.
+
+use crate::api::{
+    parse_priority, serve_error_body, ErrorBody, InferApiRequest, InferApiResponse,
+};
+use crate::http1::{self, read_request, write_response, RecvError};
+use crate::ratelimit::{RateConfig, RateLimiter};
+use crate::registry::{ModelEntry, ModelRegistry};
+use antidote_serve::{InferRequest, ServeMetrics};
+use antidote_tensor::Tensor;
+use std::collections::VecDeque;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration, every field backed by an `ANTIDOTE_HTTP_*`
+/// knob following the repo-wide warn-and-ignore convention.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address (`ANTIDOTE_HTTP_ADDR`). Port `0` picks a free port;
+    /// read the result back from [`HttpServer::local_addr`].
+    pub addr: String,
+    /// Dedicated connection-worker threads
+    /// (`ANTIDOTE_HTTP_CONN_WORKERS`).
+    pub conn_workers: usize,
+    /// Request body byte cap (`ANTIDOTE_HTTP_MAX_BODY`) → `413` beyond.
+    pub max_body: usize,
+    /// Absolute per-request read deadline
+    /// (`ANTIDOTE_HTTP_READ_TIMEOUT_MS`): a request must arrive in full
+    /// within this window regardless of how slowly bytes drip → `408`.
+    pub read_timeout: Duration,
+    /// Requests served per connection before forcing `Connection:
+    /// close` (`ANTIDOTE_HTTP_KEEPALIVE_MAX`) — bounds how long one
+    /// client can pin a worker.
+    pub keepalive_max: usize,
+    /// Per-client-IP token bucket (`ANTIDOTE_HTTP_RPS` /
+    /// `ANTIDOTE_HTTP_BURST`) → `429` when empty.
+    pub rate: RateConfig,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            // Connection workers block on socket reads and engine
+            // waits, not CPU; a multiple of the compute width keeps
+            // sockets fed while the serve workers batch.
+            conn_workers: (2 * antidote_par::available()).max(4),
+            max_body: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            keepalive_max: 256,
+            rate: RateConfig::default(),
+        }
+    }
+}
+
+impl HttpConfig {
+    /// Defaults with the `ANTIDOTE_HTTP_*` environment overrides
+    /// applied (see [`HttpConfig::with_env_overrides`]).
+    pub fn from_env() -> Self {
+        Self::default().with_env_overrides()
+    }
+
+    /// Applies the `ANTIDOTE_HTTP_*` environment overrides on top of
+    /// `self`:
+    ///
+    /// - `ANTIDOTE_HTTP_ADDR` — bind address;
+    /// - `ANTIDOTE_HTTP_CONN_WORKERS` — connection worker threads;
+    /// - `ANTIDOTE_HTTP_MAX_BODY` — body byte cap;
+    /// - `ANTIDOTE_HTTP_READ_TIMEOUT_MS` — full-request read deadline;
+    /// - `ANTIDOTE_HTTP_KEEPALIVE_MAX` — requests per connection;
+    /// - `ANTIDOTE_HTTP_RPS` / `ANTIDOTE_HTTP_BURST` — per-client
+    ///   token bucket.
+    ///
+    /// Unparseable or out-of-range values warn on stderr and keep the
+    /// prior value (the [`antidote_obs::env`] convention).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Ok(addr) = std::env::var("ANTIDOTE_HTTP_ADDR") {
+            self.addr = addr;
+        }
+        if let Some(v) = antidote_obs::env::positive::<u64>("ANTIDOTE_HTTP_CONN_WORKERS") {
+            self.conn_workers = v as usize;
+        }
+        if let Some(v) = antidote_obs::env::positive::<u64>("ANTIDOTE_HTTP_MAX_BODY") {
+            self.max_body = v as usize;
+        }
+        if let Some(v) = antidote_obs::env::positive::<u64>("ANTIDOTE_HTTP_READ_TIMEOUT_MS") {
+            self.read_timeout = Duration::from_millis(v);
+        }
+        if let Some(v) = antidote_obs::env::positive::<u64>("ANTIDOTE_HTTP_KEEPALIVE_MAX") {
+            self.keepalive_max = v as usize;
+        }
+        let mut rate = self.rate;
+        if let Some(v) = antidote_obs::env::positive::<f64>("ANTIDOTE_HTTP_RPS") {
+            rate.rps = v;
+        }
+        if let Some(v) = antidote_obs::env::positive::<f64>("ANTIDOTE_HTTP_BURST") {
+            rate.burst = v;
+        }
+        if rate.is_valid() {
+            self.rate = rate;
+        } else {
+            antidote_obs::env::warn_ignored(
+                "ANTIDOTE_HTTP_RPS/ANTIDOTE_HTTP_BURST",
+                &format!("rps={} burst={}", rate.rps, rate.burst),
+                "rate limit must have rps > 0 and burst >= 1",
+            );
+        }
+        self
+    }
+}
+
+/// Monotonic front-end counters, independent of the per-model engine
+/// metrics.
+#[derive(Debug, Default)]
+pub struct HttpMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests fully parsed (any route).
+    pub requests: AtomicU64,
+    /// `2xx` responses written.
+    pub status_2xx: AtomicU64,
+    /// `4xx` responses written (including `429`).
+    pub status_4xx: AtomicU64,
+    /// `5xx` responses written.
+    pub status_5xx: AtomicU64,
+    /// `429` rate-limit rejections (also counted in `status_4xx`).
+    pub rate_limited: AtomicU64,
+    /// Receive failures that never became a parsed request (timeouts,
+    /// malformed framing, premature disconnects).
+    pub recv_errors: AtomicU64,
+}
+
+impl HttpMetrics {
+    fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.status_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.status_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.status_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"connections\":{},\"requests\":{},\"status_2xx\":{},\"status_4xx\":{},\"status_5xx\":{},\"rate_limited\":{},\"recv_errors\":{}}}",
+            self.connections.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.status_2xx.load(Ordering::Relaxed),
+            self.status_4xx.load(Ordering::Relaxed),
+            self.status_5xx.load(Ordering::Relaxed),
+            self.rate_limited.load(Ordering::Relaxed),
+            self.recv_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// State shared by the acceptor, the workers, and the owning handle.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    limiter: RateLimiter,
+    metrics: HttpMetrics,
+    config: HttpConfig,
+    draining: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_cv: Condvar,
+}
+
+/// The running server. Dropping it without calling
+/// [`HttpServer::shutdown`] aborts the threads non-gracefully at
+/// process exit; call `shutdown` for a clean drain.
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `config.addr` and starts the acceptor and connection
+    /// workers over an already-started registry.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the address cannot be bound.
+    pub fn start(config: HttpConfig, registry: ModelRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry: Arc::new(registry),
+            limiter: RateLimiter::new(config.rate),
+            metrics: HttpMetrics::default(),
+            config,
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conns_cv: Condvar::new(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("http-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..shared.config.conn_workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("http-conn-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+
+        if antidote_obs::enabled() {
+            let addr = local_addr.to_string();
+            antidote_obs::event(
+                antidote_obs::Level::Info,
+                "http.listening",
+                &[
+                    ("addr", antidote_obs::Value::Str(&addr)),
+                    (
+                        "workers",
+                        antidote_obs::Value::U64(shared.config.conn_workers as u64),
+                    ),
+                ],
+            );
+        }
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Front-end counters.
+    pub fn metrics(&self) -> &HttpMetrics {
+        &self.shared.metrics
+    }
+
+    /// The registry being served.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Graceful drain: stop accepting, serve every already-accepted
+    /// connection to completion, then drain each model engine (flush
+    /// in-flight batches, join replicas). Returns the final per-model
+    /// metrics.
+    pub fn shutdown(mut self) -> Vec<(String, ServeMetrics)> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a loopback self-connect is
+        // the std-only way to wake it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.conns_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let registry = Arc::clone(&self.shared.registry);
+        drop(self.shared);
+        match Arc::try_unwrap(registry) {
+            Ok(registry) => registry.drain(),
+            // A caller-held registry() borrow cannot outlive `self`, so
+            // the only other owner was `shared`; this arm is
+            // unreachable, but degrade to snapshots rather than panic.
+            Err(registry) => registry.metrics(),
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // The wake-up self-connect (or a raced arrival)
+                    // lands here; drop it unserved.
+                    return;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let mut q = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+                q.push_back(stream);
+                drop(q);
+                shared.conns_cv.notify_one();
+            }
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly rather than spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(stream) = q.pop_front() {
+                    break stream;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared
+                    .conns_cv
+                    .wait(q)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        serve_connection(shared, stream);
+    }
+}
+
+/// Serves one connection's keep-alive loop to completion.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let peer_ip = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+    for served in 0.. {
+        let deadline = Instant::now() + shared.config.read_timeout;
+        let request = match read_request(&stream, deadline, shared.config.max_body) {
+            Ok(req) => req,
+            Err(RecvError::Idle | RecvError::Disconnected) => {
+                // Nothing to answer: the peer left or never spoke.
+                if served == 0 {
+                    shared.metrics.recv_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Err(err) => {
+                shared.metrics.recv_errors.fetch_add(1, Ordering::Relaxed);
+                let (status, kind) = recv_error_status(&err);
+                let body = ErrorBody::new(kind, &err).to_json();
+                respond(shared, &mut stream, status, &[], &body, false);
+                return;
+            }
+        };
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Last response on a draining or exhausted connection says so.
+        let keep_alive = request.keep_alive
+            && served + 1 < shared.config.keepalive_max
+            && !shared.draining.load(Ordering::SeqCst);
+        let (status, extra, body) = route(shared, peer_ip, &request);
+        respond(shared, &mut stream, status, &extra, &body, keep_alive);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) {
+    shared.metrics.count_status(status);
+    // A write failure means the client is gone; the typed response was
+    // still produced and counted.
+    let _ = write_response(stream, status, extra, body, keep_alive);
+}
+
+/// Maps receive failures to the statuses the module docs promise.
+fn recv_error_status(err: &RecvError) -> (u16, &'static str) {
+    match err {
+        RecvError::Timeout => (408, "request_timeout"),
+        RecvError::TooLarge { part: "head", .. } => (431, "headers_too_large"),
+        RecvError::TooLarge { .. } => (413, "payload_too_large"),
+        RecvError::BadRequest(_) => (400, "malformed_request"),
+        RecvError::LengthRequired => (411, "length_required"),
+        RecvError::UnsupportedEncoding => (501, "unsupported_encoding"),
+        // Handled before reaching here; kept total for safety.
+        RecvError::Idle | RecvError::Disconnected => (400, "malformed_request"),
+    }
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, String);
+
+/// Dispatches one parsed request to its route.
+fn route(shared: &Shared, peer_ip: IpAddr, request: &http1::Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics_json(shared),
+        ("POST", "/v1/infer") => infer(shared, peer_ip, &request.body),
+        ("GET" | "HEAD", "/v1/infer") => (
+            405,
+            vec![("allow", "POST".to_string())],
+            ErrorBody::new("method_not_allowed", "use POST /v1/infer").to_json(),
+        ),
+        (_, "/healthz" | "/metrics") => (
+            405,
+            vec![("allow", "GET".to_string())],
+            ErrorBody::new("method_not_allowed", "use GET").to_json(),
+        ),
+        (_, path) => (
+            404,
+            vec![],
+            ErrorBody::new("not_found", format!("no route for `{path}`")).to_json(),
+        ),
+    }
+}
+
+fn healthz(shared: &Shared) -> Routed {
+    let models: Vec<String> = shared
+        .registry
+        .names()
+        .into_iter()
+        .map(|n| format!("\"{}\"", json_escape(&n)))
+        .collect();
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    (
+        200,
+        vec![],
+        format!(
+            "{{\"status\":\"{status}\",\"models\":[{}]}}",
+            models.join(",")
+        ),
+    )
+}
+
+/// `GET /metrics`: front-end counters, per-model
+/// [`ServeMetrics::to_json`] snapshots, and the `antidote-obs` span /
+/// counter snapshot, spliced as one JSON object.
+fn metrics_json(shared: &Shared) -> Routed {
+    let models: Vec<String> = shared
+        .registry
+        .metrics()
+        .into_iter()
+        .map(|(name, m)| format!("\"{}\":{}", json_escape(&name), m.to_json()))
+        .collect();
+    let body = format!(
+        "{{\"http\":{},\"models\":{{{}}},\"obs\":{}}}",
+        shared.metrics.to_json(),
+        models.join(","),
+        antidote_obs::snapshot().to_json(),
+    );
+    (200, vec![], body)
+}
+
+fn infer(shared: &Shared, peer_ip: IpAddr, body: &[u8]) -> Routed {
+    if let Err(wait) = shared.limiter.try_acquire(peer_ip) {
+        shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+        let mut eb = ErrorBody::new("rate_limited", "per-client request rate exceeded");
+        eb.retry_after_ms = Some(wait.as_millis() as u64);
+        return (
+            429,
+            vec![("retry-after", wait.as_secs().max(1).to_string())],
+            eb.to_json(),
+        );
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            return (
+                400,
+                vec![],
+                ErrorBody::new("invalid_json", "body is not valid UTF-8").to_json(),
+            );
+        }
+    };
+    let api: InferApiRequest = match serde_json::from_str(text) {
+        Ok(api) => api,
+        Err(e) => {
+            return (
+                400,
+                vec![],
+                ErrorBody::new("invalid_json", format!("body is not a valid request: {e}"))
+                    .to_json(),
+            );
+        }
+    };
+    let entry = match shared.registry.route(api.model.as_deref()) {
+        Some(entry) => entry,
+        None => {
+            let mut eb = ErrorBody::new(
+                "model_not_found",
+                format!("no model named `{}`", api.model.as_deref().unwrap_or("")),
+            );
+            eb.models = Some(shared.registry.names());
+            return (404, vec![], eb.to_json());
+        }
+    };
+    match build_request(entry, &api) {
+        Ok(req) => match entry.handle().submit(req).and_then(|p| p.wait()) {
+            Ok(resp) => {
+                let api_resp = InferApiResponse::from_engine(entry.name(), &resp);
+                (
+                    200,
+                    vec![],
+                    serde_json::to_string(&api_resp)
+                        .expect("infer response serialization cannot fail"),
+                )
+            }
+            Err(err) => {
+                let (status, eb) = serve_error_body(&err);
+                (status, vec![], eb.to_json())
+            }
+        },
+        Err(eb) => (400, vec![], eb.to_json()),
+    }
+}
+
+/// Validates the API body into an engine request against the routed
+/// model. Every validation failure is a 400 with a typed kind.
+fn build_request(
+    entry: &ModelEntry,
+    api: &InferApiRequest,
+) -> Result<InferRequest, Box<ErrorBody>> {
+    if api.shape.len() != 3 {
+        return Err(Box::new(ErrorBody::new(
+            "bad_shape",
+            format!("shape must be [C, H, W], got {:?}", api.shape),
+        )));
+    }
+    let expected: usize = api.shape.iter().product();
+    if expected != api.input.len() {
+        return Err(Box::new(ErrorBody::new(
+            "bad_shape",
+            format!(
+                "shape {:?} needs {expected} values, body carries {}",
+                api.shape,
+                api.input.len()
+            ),
+        )));
+    }
+    let input = Tensor::from_vec(api.input.clone(), &api.shape)
+        .map_err(|e| Box::new(ErrorBody::new("bad_shape", e)))?;
+    let mut req = InferRequest::new(input);
+    match (api.budget_macs, api.budget_frac) {
+        (Some(_), Some(_)) => {
+            return Err(Box::new(ErrorBody::new(
+                "bad_budget",
+                "set at most one of budget_macs and budget_frac",
+            )));
+        }
+        (Some(macs), None) => req = req.with_budget(macs),
+        (None, Some(frac)) => {
+            if !frac.is_finite() {
+                return Err(Box::new(ErrorBody::new(
+                    "bad_budget",
+                    "budget_frac must be finite",
+                )));
+            }
+            let handle = entry.handle();
+            let (floor, dense) = (handle.floor_macs(), handle.dense_macs());
+            req = req.with_budget(floor + frac.clamp(0.0, 1.0) * (dense - floor));
+        }
+        (None, None) => {}
+    }
+    if let Some(ms) = api.deadline_ms {
+        req = req.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(p) = &api.priority {
+        let priority = parse_priority(p).map_err(|raw| {
+            Box::new(ErrorBody::new(
+                "bad_priority",
+                format!("unknown priority `{raw}` (expected interactive|standard|batch)"),
+            ))
+        })?;
+        req = req.with_priority(priority);
+    }
+    Ok(req)
+}
+
+/// Minimal JSON string escaping for names we splice into hand-built
+/// fragments (model names are operator-chosen, but stay correct
+/// anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = HttpConfig::default();
+        assert!(cfg.conn_workers >= 4);
+        assert!(cfg.rate.is_valid());
+        assert!(cfg.max_body >= 1024);
+        assert!(cfg.keepalive_max >= 1);
+    }
+
+    #[test]
+    fn recv_errors_map_to_promised_statuses() {
+        assert_eq!(recv_error_status(&RecvError::Timeout).0, 408);
+        assert_eq!(
+            recv_error_status(&RecvError::TooLarge { part: "head", limit: 1 }).0,
+            431
+        );
+        assert_eq!(
+            recv_error_status(&RecvError::TooLarge { part: "body", limit: 1 }).0,
+            413
+        );
+        assert_eq!(recv_error_status(&RecvError::BadRequest("x".into())).0, 400);
+        assert_eq!(recv_error_status(&RecvError::LengthRequired).0, 411);
+        assert_eq!(recv_error_status(&RecvError::UnsupportedEncoding).0, 501);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn metrics_status_buckets() {
+        let m = HttpMetrics::default();
+        m.count_status(200);
+        m.count_status(404);
+        m.count_status(429);
+        m.count_status(503);
+        assert_eq!(m.status_2xx.load(Ordering::Relaxed), 1);
+        assert_eq!(m.status_4xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.status_5xx.load(Ordering::Relaxed), 1);
+        let json = m.to_json();
+        assert!(json.contains("\"status_4xx\":2"), "{json}");
+    }
+}

@@ -97,6 +97,18 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ANTIDOTE_CHAOS_SEED",
     // overload bench
     "ANTIDOTE_OVERLOAD_SEED",
+    // http front-end
+    "ANTIDOTE_HTTP_ADDR",
+    "ANTIDOTE_HTTP_CONN_WORKERS",
+    "ANTIDOTE_HTTP_MAX_BODY",
+    "ANTIDOTE_HTTP_READ_TIMEOUT_MS",
+    "ANTIDOTE_HTTP_KEEPALIVE_MAX",
+    "ANTIDOTE_HTTP_RPS",
+    "ANTIDOTE_HTTP_BURST",
+    // http bench
+    "ANTIDOTE_HTTP_BENCH_REQUESTS",
+    "ANTIDOTE_HTTP_BENCH_SEED",
+    "ANTIDOTE_HTTP_BENCH_CLIENTS",
 ];
 
 /// Keys starting with this prefix are reserved for unit tests and never

@@ -61,6 +61,23 @@ impl std::fmt::Display for Priority {
     }
 }
 
+impl std::str::FromStr for Priority {
+    type Err = String;
+
+    /// Parses the lane labels [`Priority::as_str`] emits,
+    /// case-insensitively — the HTTP API and config files speak these.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "interactive" => Ok(Priority::Interactive),
+            "standard" => Ok(Priority::Standard),
+            "batch" => Ok(Priority::Batch),
+            other => Err(format!(
+                "unknown priority `{other}` (expected interactive|standard|batch)"
+            )),
+        }
+    }
+}
+
 /// Watermarks (fractions of queue capacity) driving the
 /// degrade-before-shed policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +168,15 @@ mod tests {
         assert_eq!(Priority::default(), Priority::Standard);
         assert_eq!(Priority::Batch.to_string(), "batch");
         assert!(Priority::COUNT >= Priority::Batch.lane() + 1);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for p in [Priority::Interactive, Priority::Standard, Priority::Batch] {
+            assert_eq!(p.as_str().parse::<Priority>(), Ok(p));
+            assert_eq!(p.as_str().to_uppercase().parse::<Priority>(), Ok(p));
+        }
+        assert!("vip".parse::<Priority>().is_err());
     }
 
     #[test]

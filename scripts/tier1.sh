@@ -35,6 +35,14 @@ cargo run --release -p antidote-bench --bin par_bench -- --smoke
 # tested prune schedule, and the i8 GEMM strictly reduces byte traffic
 # (wall-clock parity asserted only on hosts with >=4 hardware threads).
 cargo run --release -p antidote-bench --bin quant_bench -- --smoke
+# HTTP front-end gate: an open-loop trace replayed by concurrent clients
+# over real sockets, through the parser, registry (fp32 + int8 twins),
+# SLO queue, and batched forward, ending in a graceful drain. Fails on
+# any untyped failure, status outside {200,408,429,503}, budget
+# overshoot, unserved model, or a drain-lost response. Both thread
+# budgets: the socket path must not be budget-sensitive either.
+ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin http_bench -- --smoke
+ANTIDOTE_THREADS=4 cargo run --release -p antidote-bench --bin http_bench -- --smoke
 # Documentation gate: rustdoc must build warning-clean (broken intra-doc
 # links are errors; antidote-tensor/par/obs deny missing docs).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
