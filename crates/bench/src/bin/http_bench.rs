@@ -23,7 +23,11 @@
 //! *untyped* death (socket error, malformed response), if any status
 //! falls outside the typed set {200, 408, 429, 503}, if any budgeted
 //! `200` exceeds its budget, if either model goes unserved, or if the
-//! drain loses a response.
+//! drain loses a response. Smoke mode also enables observability and
+//! checks the tracing pipeline end to end: every request carries a
+//! deterministic `x-antidote-trace` id that must be echoed back, and a
+//! deliberately errored request (negative budget → `422`) must appear
+//! in `GET /debug/traces` under its pinned id.
 
 use antidote_bench::trace::{generate, ArrivalProcess, ClassMix, PhaseSpec, RequestClass};
 use antidote_core::quant::{calibrate, CalibrationMethod};
@@ -126,11 +130,21 @@ struct HttpOutcome {
     response: Option<InferApiResponse>,
     /// Untyped transport/parse failure — the thing `--smoke` forbids.
     transport_error: Option<String>,
+    /// `x-antidote-trace` response header, when present.
+    trace_echo: Option<String>,
+}
+
+/// The deterministic trace id client traffic pins on event `i` (1–32
+/// hex chars; the server echoes the zero-padded 32-char rendering).
+fn trace_id_for(i: usize) -> String {
+    format!("{:x}", 0xb00c_0000_0000u64 + i as u64)
 }
 
 /// Reads one HTTP/1.1 response (status line, headers, `Content-Length`
-/// body); returns `(status, body, keep_alive)`.
-fn read_http_response(stream: &mut TcpStream) -> Result<(u16, String, bool), String> {
+/// body); returns `(status, body, keep_alive, trace_echo)`.
+fn read_http_response(
+    stream: &mut TcpStream,
+) -> Result<(u16, String, bool, Option<String>), String> {
     let mut buf = Vec::with_capacity(1024);
     let head_end = loop {
         if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -153,6 +167,7 @@ fn read_http_response(stream: &mut TcpStream) -> Result<(u16, String, bool), Str
         .ok_or_else(|| format!("bad status line `{status_line}`"))?;
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut trace_echo = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
@@ -161,6 +176,7 @@ fn read_http_response(stream: &mut TcpStream) -> Result<(u16, String, bool), Str
                 content_length = value.parse().map_err(|_| "bad content-length")?;
             }
             "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            "x-antidote-trace" => trace_echo = Some(value.to_string()),
             _ => {}
         }
     }
@@ -175,21 +191,23 @@ fn read_http_response(stream: &mut TcpStream) -> Result<(u16, String, bool), Str
     }
     body.truncate(content_length);
     let body = String::from_utf8(body).map_err(|_| "non-UTF-8 body")?;
-    Ok((status, body, keep_alive))
+    Ok((status, body, keep_alive, trace_echo))
 }
 
-/// Issues one `POST /v1/infer` over `conn` (reconnecting if needed).
+/// Issues one `POST /v1/infer` over `conn` (reconnecting if needed),
+/// stamping the request with `trace_id`.
 fn post_infer(
     conn: &mut Option<TcpStream>,
     addr: SocketAddr,
+    trace_id: &str,
     body: &str,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, String, Option<String>), String> {
     if conn.is_none() {
         *conn = Some(TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?);
     }
     let stream = conn.as_mut().expect("connection just ensured");
     let request = format!(
-        "POST /v1/infer HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST /v1/infer HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\nx-antidote-trace: {trace_id}\r\ncontent-length: {}\r\n\r\n{body}",
         body.len(),
     );
     if let Err(e) = stream.write_all(request.as_bytes()) {
@@ -197,17 +215,27 @@ fn post_infer(
         return Err(format!("write: {e}"));
     }
     match read_http_response(stream) {
-        Ok((status, body, keep_alive)) => {
+        Ok((status, body, keep_alive, trace_echo)) => {
             if !keep_alive {
                 *conn = None;
             }
-            Ok((status, body))
+            Ok((status, body, trace_echo))
         }
         Err(e) => {
             *conn = None;
             Err(e)
         }
     }
+}
+
+/// One-shot `GET` over a fresh connection; returns `(status, body)`.
+fn get_path(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    read_http_response(&mut stream).map(|(status, body, _, _)| (status, body))
 }
 
 /// Replays the trace open-loop: client `c` of `clients` owns events
@@ -241,12 +269,14 @@ fn run_clients(
                     }
                     let model = if i % 2 == 0 { "vgg-fp32" } else { "vgg-int8" };
                     let body = request_body(model, i, &ev.class);
-                    *slot = Some(match post_infer(&mut conn, addr, &body) {
-                        Ok((200, body)) => match serde_json::from_str(&body) {
+                    let tid = trace_id_for(i);
+                    *slot = Some(match post_infer(&mut conn, addr, &tid, &body) {
+                        Ok((200, body, trace_echo)) => match serde_json::from_str(&body) {
                             Ok(resp) => HttpOutcome {
                                 status: 200,
                                 response: Some(resp),
                                 transport_error: None,
+                                trace_echo,
                             },
                             Err(e) => HttpOutcome {
                                 status: 200,
@@ -254,17 +284,20 @@ fn run_clients(
                                 transport_error: Some(format!(
                                     "client {c}: unparseable 200 body: {e}"
                                 )),
+                                trace_echo,
                             },
                         },
-                        Ok((status, _)) => HttpOutcome {
+                        Ok((status, _, trace_echo)) => HttpOutcome {
                             status,
                             response: None,
                             transport_error: None,
+                            trace_echo,
                         },
                         Err(e) => HttpOutcome {
                             status: 0,
                             response: None,
                             transport_error: Some(format!("client {c}: {e}")),
+                            trace_echo: None,
                         },
                     });
                 }
@@ -296,6 +329,11 @@ fn request_body(model: &str, i: usize, class: &RequestClass) -> String {
 fn main() {
     antidote_obs::init_from_env();
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // The smoke gate asserts the tracing pipeline end to end, which
+        // needs the flight recorder live regardless of ANTIDOTE_OBS.
+        antidote_obs::set_enabled(true);
+    }
     let parse_env = antidote_obs::env::parse_or::<usize>;
     let requests = parse_env("ANTIDOTE_HTTP_BENCH_REQUESTS", if smoke { 24 } else { 96 });
     let clients = parse_env("ANTIDOTE_HTTP_BENCH_CLIENTS", 4).max(1);
@@ -329,6 +367,48 @@ fn main() {
     let outcomes = run_clients(addr, &events, clients);
     let wall = wall.elapsed();
 
+    // Smoke-only, pre-drain: an impossible budget must come back as a
+    // typed 422 under its pinned trace id, and the flight recorder must
+    // expose that record through GET /debug/traces.
+    let mut trace_failures: Vec<String> = Vec::new();
+    if smoke {
+        let errored_id = "deadbee1";
+        let padded = format!("{errored_id:0>32}");
+        let bad_body = format!(
+            "{{\"model\":\"vgg-fp32\",\"input\":[{}],\"shape\":[3,{IMAGE_SIZE},{IMAGE_SIZE}],\"budget_macs\":-1.0}}",
+            input_values(0)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        let mut conn: Option<TcpStream> = None;
+        match post_infer(&mut conn, addr, errored_id, &bad_body) {
+            Ok((422, _, Some(echo))) if echo == padded => {}
+            Ok((status, body, echo)) => trace_failures.push(format!(
+                "negative budget: want 422 echoing {padded}, got {status} echo {echo:?}: {body}"
+            )),
+            Err(e) => trace_failures.push(format!("negative-budget request died: {e}")),
+        }
+        match get_path(addr, "/debug/traces") {
+            Ok((200, traces)) => {
+                if !traces.contains(&padded) {
+                    trace_failures.push(format!(
+                        "errored trace {padded} missing from /debug/traces: {traces}"
+                    ));
+                }
+                if !traces.contains("\"outcome\":\"budget_infeasible\"") {
+                    trace_failures
+                        .push(format!("no budget_infeasible outcome in /debug/traces: {traces}"));
+                }
+            }
+            Ok((status, body)) => {
+                trace_failures.push(format!("/debug/traces returned {status}: {body}"));
+            }
+            Err(e) => trace_failures.push(format!("/debug/traces request died: {e}")),
+        }
+    }
+
     let final_metrics = server.shutdown();
 
     // Report: status histogram + the shared per-model summary shape.
@@ -354,12 +434,21 @@ fn main() {
     }
 
     if smoke {
-        let mut failures: Vec<String> = Vec::new();
-        for o in &outcomes {
+        let mut failures: Vec<String> = trace_failures;
+        for (i, o) in outcomes.iter().enumerate() {
             if let Some(err) = &o.transport_error {
                 failures.push(format!("untyped failure: {err}"));
             } else if !matches!(o.status, 200 | 408 | 429 | 503) {
                 failures.push(format!("unexpected status {}", o.status));
+            }
+            if o.transport_error.is_none() {
+                let expected = format!("{:0>32}", trace_id_for(i));
+                if o.trace_echo.as_deref() != Some(expected.as_str()) {
+                    failures.push(format!(
+                        "event {i}: trace echo {:?} != submitted id {expected}",
+                        o.trace_echo
+                    ));
+                }
             }
             if let Some(resp) = &o.response {
                 if let Some(budget) = resp.budget_macs {

@@ -12,10 +12,14 @@
 //! `antidote_core::flops::analytic_flops` exactly — and exits non-zero
 //! on violation, so CI can use it as a profiling regression gate.
 //!
-//! `--overhead-smoke` instead times dense forwards with observability
-//! disabled vs enabled and fails if the enabled/disabled ratio exceeds a
-//! generous noise bound — the "off by default, near-zero cost disabled"
-//! guarantee of `antidote-obs` (DESIGN.md §9).
+//! `--overhead-smoke` instead times dense forwards three ways —
+//! observability disabled, enabled, and fully traced (per-request span/
+//! counter collector active plus a flight-recorder record per forward,
+//! the serving stack's per-request instrumentation) — and fails if
+//! either instrumented/disabled ratio exceeds a generous noise bound:
+//! the "off by default, near-zero cost disabled" guarantee of
+//! `antidote-obs` (DESIGN.md §9) extended to the tracing layer
+//! (DESIGN.md §14).
 //!
 //! Knobs: `ANTIDOTE_TRACE`/`ANTIDOTE_LOG` (see `antidote-obs`);
 //! `ANTIDOTE_SCALE` selects the workload scale as elsewhere.
@@ -30,7 +34,8 @@ use antidote_models::Network;
 use antidote_tensor::Tensor;
 use std::time::Instant;
 
-/// Enabled/disabled wall-time ratio allowed by `--overhead-smoke`.
+/// Instrumented/disabled wall-time ratio allowed by `--overhead-smoke`
+/// (applied to both the enabled and the fully-traced measurement).
 /// Deliberately loose: per-layer spans cost nanoseconds against
 /// milliseconds of conv work, but CI machines are noisy.
 const OVERHEAD_BOUND: f64 = 1.5;
@@ -128,8 +133,43 @@ fn median_forward_ms(net: &mut dyn Network, input: &Tensor, iters: usize) -> f64
     antidote_obs::percentile(&samples, 50.0)
 }
 
-/// `--overhead-smoke`: dense forwards with observability off vs on must
-/// stay within [`OVERHEAD_BOUND`].
+/// Median wall time of `iters` dense forwards run the way a traced
+/// serving request is: the thread-local span/counter collector active
+/// around each forward, and one flight-recorder
+/// [`antidote_obs::TraceRecord`] assembled and retained per iteration.
+fn median_traced_forward_ms(net: &mut dyn Network, input: &Tensor, iters: usize) -> f64 {
+    use antidote_obs::{TraceId, TraceRecord, TraceSpanRec};
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            antidote_obs::collect_begin();
+            let _ = net.forward(input, antidote_nn::Mode::Eval);
+            let collected = antidote_obs::collect_end();
+            let mut rec = TraceRecord::new(&TraceId::mint().to_hex());
+            if let Some(c) = collected {
+                rec.spans = c
+                    .spans
+                    .iter()
+                    .map(|s| TraceSpanRec {
+                        name: s.name.clone(),
+                        start_ns: s.start_ns,
+                        dur_ns: s.dur_ns,
+                    })
+                    .collect();
+                rec.counters = c.counters;
+            }
+            rec.total_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            antidote_obs::record_trace(rec);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    antidote_obs::percentile(&samples, 50.0)
+}
+
+/// `--overhead-smoke`: dense forwards with observability off, on, and
+/// fully traced must stay within [`OVERHEAD_BOUND`] of the disabled
+/// cost.
 fn overhead_smoke() {
     let rw = ReproWorkload::for_workload(Workload::ResNet56Cifar10, Scale::Quick);
     assert!(matches!(rw.model, ModelKind::ResNetSmall { .. }));
@@ -145,15 +185,35 @@ fn overhead_smoke() {
     antidote_obs::set_enabled(true);
     antidote_obs::reset();
     let on_ms = median_forward_ms(net.as_mut(), &input, iters);
+    let traced_ms = median_traced_forward_ms(net.as_mut(), &input, iters);
+    let (recorded, _) = antidote_obs::recorder_counts();
+    antidote_obs::clear_recorder();
     antidote_obs::set_enabled(false);
 
-    let ratio = on_ms / off_ms.max(1e-9);
+    let on_ratio = on_ms / off_ms.max(1e-9);
+    let traced_ratio = traced_ms / off_ms.max(1e-9);
     println!(
-        "overhead smoke: obs-off median {off_ms:.3} ms | obs-on median {on_ms:.3} ms | ratio {ratio:.3}"
+        "overhead smoke: obs-off median {off_ms:.3} ms | obs-on median {on_ms:.3} ms (ratio {on_ratio:.3}) | traced median {traced_ms:.3} ms (ratio {traced_ratio:.3})"
     );
-    if ratio > OVERHEAD_BOUND {
-        eprintln!("OVERHEAD FAIL: enabled/disabled ratio {ratio:.3} exceeds {OVERHEAD_BOUND}");
+    let mut failed = false;
+    for (label, ratio) in [("enabled", on_ratio), ("traced", traced_ratio)] {
+        if ratio > OVERHEAD_BOUND {
+            eprintln!(
+                "OVERHEAD FAIL: {label}/disabled ratio {ratio:.3} exceeds {OVERHEAD_BOUND}"
+            );
+            failed = true;
+        }
+    }
+    if recorded < iters as u64 {
+        eprintln!(
+            "OVERHEAD FAIL: flight recorder saw {recorded} records, want ≥ {iters} — the traced measurement did not exercise the recorder"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("overhead ok: ratio {ratio:.3} within bound {OVERHEAD_BOUND}");
+    println!(
+        "overhead ok: enabled ratio {on_ratio:.3}, traced ratio {traced_ratio:.3} within bound {OVERHEAD_BOUND}"
+    );
 }

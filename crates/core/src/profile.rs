@@ -239,6 +239,7 @@ mod tests {
                 .collect(),
             gauges: vec![],
             hists: vec![],
+            ..Snapshot::default()
         };
         let rows = profile_rows(&snap, &shapes, &schedule);
         assert_eq!(rows.len(), shapes.len());

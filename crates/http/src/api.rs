@@ -70,6 +70,11 @@ pub struct InferApiResponse {
     pub queue_wait_ms: f64,
     /// Engine-side latency (admission → response), milliseconds.
     pub latency_ms: f64,
+    /// Trace id serving this request (echoed from the inbound
+    /// `x-antidote-trace` header, or minted); absent while
+    /// observability is off.
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 impl InferApiResponse {
@@ -88,6 +93,7 @@ impl InferApiResponse {
             batch_size: resp.batch_size,
             queue_wait_ms: resp.queue_wait.as_secs_f64() * 1e3,
             latency_ms: resp.latency.as_secs_f64() * 1e3,
+            trace_id: resp.trace.map(|t| t.to_hex()),
         }
     }
 }
@@ -114,6 +120,10 @@ pub struct ErrorBody {
     /// Registered model names (unknown-model rejections).
     #[serde(default)]
     pub models: Option<Vec<String>>,
+    /// Trace id of the rejected request, when one was carried or
+    /// minted (matches the `x-antidote-trace` response header).
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 impl ErrorBody {

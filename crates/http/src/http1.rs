@@ -40,6 +40,8 @@ pub struct Request {
     pub method: String,
     /// Request path with any `?query` suffix stripped.
     pub path: String,
+    /// Raw query string after `?` (empty when the target has none).
+    pub query: String,
     /// Header `(name, value)` pairs in arrival order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
@@ -256,10 +258,14 @@ pub fn read_request(
         Some(v) if v == "keep-alive" => true,
         _ => version == "HTTP/1.1",
     };
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -291,20 +297,24 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `application/json` response. `extra_headers` are raw
-/// `Name: value` pairs (e.g. `Retry-After`). Returns `Err` on a broken
-/// pipe (client already gone) — callers log-and-close, never panic.
+/// Writes one response with the given `content_type` (JSON routes pass
+/// `application/json`; the Prometheus exposition uses its versioned
+/// text type). `extra_headers` are raw `Name: value` pairs (e.g.
+/// `Retry-After`). Returns `Err` on a broken pipe (client already
+/// gone) — callers log-and-close, never panic.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -462,6 +472,7 @@ mod tests {
         write_response(
             &mut server,
             429,
+            "application/json",
             &[("retry-after", "1".to_string())],
             "{\"error\":\"rate_limited\"}",
             false,

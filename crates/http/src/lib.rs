@@ -11,7 +11,8 @@
 //!   clients ──TCP──▶ [acceptor] ─▶ conn workers ─▶ router
 //!                                                   │ POST /v1/infer ─▶ [RateLimiter] ─▶ [ModelRegistry] ─▶ ServeEngine
 //!                                                   │ GET  /healthz
-//!                                                   │ GET  /metrics
+//!                                                   │ GET  /metrics      (JSON, or Prometheus text via content negotiation)
+//!                                                   │ GET  /debug/traces (flight-recorder dump)
 //! ```
 //!
 //! - [`http1`] — minimal request parsing with hostile-input limits and
@@ -21,9 +22,11 @@
 //! - [`registry`] — named model+schedule+dtype variants (fp32 / int8
 //!   twins), each on its own engine, routed per request;
 //! - [`ratelimit`] — per-client-IP token buckets → `429`;
+//! - [`prom`] — the Prometheus text exposition `/metrics` serves under
+//!   `Accept: text/plain` or `?format=prom`;
 //! - [`server`] — accept loop, dedicated connection workers, routing,
-//!   and graceful drain (finish everything accepted, then drain the
-//!   engines).
+//!   request tracing (`x-antidote-trace` in/out), and graceful drain
+//!   (finish everything accepted, then drain the engines).
 //!
 //! Every knob is an `ANTIDOTE_HTTP_*` environment variable following
 //! the repo's warn-and-ignore convention; see [`HttpConfig`]. DESIGN.md
@@ -58,6 +61,7 @@
 
 pub mod api;
 pub mod http1;
+pub mod prom;
 pub mod ratelimit;
 pub mod registry;
 pub mod server;

@@ -130,9 +130,14 @@ impl ModelRegistry {
             return Err(RegistryError::Empty);
         }
         let mut entries: Vec<ModelEntry> = Vec::with_capacity(specs.len());
-        for spec in specs {
+        for mut spec in specs {
             if entries.iter().any(|e| e.name == spec.name) {
                 return Err(RegistryError::DuplicateName(spec.name));
+            }
+            // Stamp the registry name into the engine so flight-recorder
+            // trace records carry the model route they resolved to.
+            if spec.config.label.is_empty() {
+                spec.config.label = spec.name.clone();
             }
             let quant = spec.config.quant;
             let engine = match ServeEngine::start(spec.config, spec.factory) {

@@ -28,7 +28,8 @@ use crate::api::{
 use crate::http1::{self, read_request, write_response, RecvError};
 use crate::ratelimit::{RateConfig, RateLimiter};
 use crate::registry::{ModelEntry, ModelRegistry};
-use antidote_serve::{InferRequest, ServeMetrics};
+use antidote_obs::{TraceId, TraceRecord};
+use antidote_serve::{InferRequest, ServeError, ServeMetrics};
 use antidote_tensor::Tensor;
 use std::collections::VecDeque;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -300,13 +301,21 @@ impl HttpServer {
         }
         let registry = Arc::clone(&self.shared.registry);
         drop(self.shared);
-        match Arc::try_unwrap(registry) {
+        let finals = match Arc::try_unwrap(registry) {
             Ok(registry) => registry.drain(),
             // A caller-held registry() borrow cannot outlive `self`, so
             // the only other owner was `shared`; this arm is
             // unreachable, but degrade to snapshots rather than panic.
             Err(registry) => registry.metrics(),
+        };
+        if antidote_obs::enabled() {
+            // After the engines flushed their in-flight batches, dump
+            // the flight recorder's exemplars into the JSONL event ring
+            // (and trace file, when set) — the retained records are
+            // otherwise memory-only and die with the process.
+            antidote_obs::recorder_dump_events();
         }
+        finals
     }
 }
 
@@ -380,7 +389,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 shared.metrics.recv_errors.fetch_add(1, Ordering::Relaxed);
                 let (status, kind) = recv_error_status(&err);
                 let body = ErrorBody::new(kind, &err).to_json();
-                respond(shared, &mut stream, status, &[], &body, false);
+                respond(shared, &mut stream, status, CT_JSON, &[], &body, false);
                 return;
             }
         };
@@ -389,8 +398,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         let keep_alive = request.keep_alive
             && served + 1 < shared.config.keepalive_max
             && !shared.draining.load(Ordering::SeqCst);
-        let (status, extra, body) = route(shared, peer_ip, &request);
-        respond(shared, &mut stream, status, &extra, &body, keep_alive);
+        let (status, extra, body, content_type) = route(shared, peer_ip, &request);
+        respond(shared, &mut stream, status, content_type, &extra, &body, keep_alive);
         if !keep_alive {
             return;
         }
@@ -401,6 +410,7 @@ fn respond(
     shared: &Shared,
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     extra: &[(&str, String)],
     body: &str,
     keep_alive: bool,
@@ -408,7 +418,7 @@ fn respond(
     shared.metrics.count_status(status);
     // A write failure means the client is gone; the typed response was
     // still produced and counted.
-    let _ = write_response(stream, status, extra, body, keep_alive);
+    let _ = write_response(stream, status, content_type, extra, body, keep_alive);
 }
 
 /// Maps receive failures to the statuses the module docs promise.
@@ -425,28 +435,39 @@ fn recv_error_status(err: &RecvError) -> (u16, &'static str) {
     }
 }
 
-type Routed = (u16, Vec<(&'static str, String)>, String);
+/// JSON content type — every route except the Prometheus exposition.
+const CT_JSON: &str = "application/json";
+/// Prometheus text exposition format, version 0.0.4.
+const CT_PROM: &str = "text/plain; version=0.0.4";
+
+type Routed = (u16, Vec<(&'static str, String)>, String, &'static str);
 
 /// Dispatches one parsed request to its route.
 fn route(shared: &Shared, peer_ip: IpAddr, request: &http1::Request) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => metrics_json(shared),
-        ("POST", "/v1/infer") => infer(shared, peer_ip, &request.body),
+        ("GET", "/metrics") => metrics(shared, request),
+        ("GET", "/debug/traces") => {
+            (200, vec![], antidote_obs::traces_json(), CT_JSON)
+        }
+        ("POST", "/v1/infer") => infer(shared, peer_ip, request),
         ("GET" | "HEAD", "/v1/infer") => (
             405,
             vec![("allow", "POST".to_string())],
             ErrorBody::new("method_not_allowed", "use POST /v1/infer").to_json(),
+            CT_JSON,
         ),
-        (_, "/healthz" | "/metrics") => (
+        (_, "/healthz" | "/metrics" | "/debug/traces") => (
             405,
             vec![("allow", "GET".to_string())],
             ErrorBody::new("method_not_allowed", "use GET").to_json(),
+            CT_JSON,
         ),
         (_, path) => (
             404,
             vec![],
             ErrorBody::new("not_found", format!("no route for `{path}`")).to_json(),
+            CT_JSON,
         ),
     }
 }
@@ -470,13 +491,40 @@ fn healthz(shared: &Shared) -> Routed {
             "{{\"status\":\"{status}\",\"models\":[{}]}}",
             models.join(",")
         ),
+        CT_JSON,
     )
+}
+
+/// `true` when the client asked for the Prometheus text exposition:
+/// `?format=prom` (or `prometheus`) in the query, or an `Accept` header
+/// naming `text/plain` / OpenMetrics. JSON stays the default.
+fn wants_prometheus(request: &http1::Request) -> bool {
+    if request
+        .query
+        .split('&')
+        .any(|p| p == "format=prom" || p == "format=prometheus")
+    {
+        return true;
+    }
+    request.header("accept").is_some_and(|accept| {
+        let accept = accept.to_ascii_lowercase();
+        accept.contains("text/plain") || accept.contains("application/openmetrics-text")
+    })
 }
 
 /// `GET /metrics`: front-end counters, per-model
 /// [`ServeMetrics::to_json`] snapshots, and the `antidote-obs` span /
-/// counter snapshot, spliced as one JSON object.
-fn metrics_json(shared: &Shared) -> Routed {
+/// counter snapshot — one JSON object by default, or the Prometheus
+/// text exposition under content negotiation ([`wants_prometheus`]).
+fn metrics(shared: &Shared, request: &http1::Request) -> Routed {
+    if wants_prometheus(request) {
+        let body = crate::prom::render_exposition(
+            &shared.metrics,
+            &shared.registry.metrics(),
+            &antidote_obs::snapshot(),
+        );
+        return (200, vec![], body, CT_PROM);
+    }
     let models: Vec<String> = shared
         .registry
         .metrics()
@@ -489,39 +537,82 @@ fn metrics_json(shared: &Shared) -> Routed {
         models.join(","),
         antidote_obs::snapshot().to_json(),
     );
-    (200, vec![], body)
+    (200, vec![], body, CT_JSON)
 }
 
-fn infer(shared: &Shared, peer_ip: IpAddr, body: &[u8]) -> Routed {
+/// The `x-antidote-trace` echo header for a request that carries an id.
+fn trace_headers(trace: Option<TraceId>) -> Vec<(&'static str, String)> {
+    match trace {
+        Some(t) => vec![("x-antidote-trace", t.to_hex())],
+        None => vec![],
+    }
+}
+
+/// Records a synchronous (pre-execution) rejection in the flight
+/// recorder. The engine records every post-admission outcome itself
+/// (completion, deadline, eviction, panic); the HTTP layer owns what
+/// fails before a ticket reaches the queue — validation `400`s,
+/// admission errors from `submit`, rate limiting, unknown models.
+fn record_rejection(
+    trace: Option<TraceId>,
+    model: &str,
+    outcome: &str,
+    detail: &str,
+    priority: Option<&str>,
+) {
+    if !antidote_obs::enabled() {
+        return;
+    }
+    let Some(tid) = trace else { return };
+    let mut rec = TraceRecord::new(&tid.to_hex());
+    rec.model = model.to_string();
+    rec.outcome = outcome.to_string();
+    rec.detail = detail.to_string();
+    if let Some(p) = priority {
+        rec.priority = p.to_string();
+    }
+    if matches!(outcome, "overloaded" | "queue_full") {
+        rec.shed = "shed".to_string();
+    }
+    antidote_obs::record_trace(rec);
+}
+
+fn infer(shared: &Shared, peer_ip: IpAddr, request: &http1::Request) -> Routed {
+    // Honor an inbound trace id; otherwise mint one while observability
+    // is on, so even requests that fail before admission are
+    // reconstructible from `/debug/traces`.
+    let trace = request
+        .header("x-antidote-trace")
+        .and_then(TraceId::parse)
+        .or_else(|| antidote_obs::enabled().then(TraceId::mint));
+    let trace_hex = || trace.map(TraceId::to_hex);
     if let Err(wait) = shared.limiter.try_acquire(peer_ip) {
         shared.metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
         let mut eb = ErrorBody::new("rate_limited", "per-client request rate exceeded");
         eb.retry_after_ms = Some(wait.as_millis() as u64);
-        return (
-            429,
-            vec![("retry-after", wait.as_secs().max(1).to_string())],
-            eb.to_json(),
-        );
+        eb.trace_id = trace_hex();
+        record_rejection(trace, "", "rate_limited", &eb.detail, None);
+        let mut extra = trace_headers(trace);
+        extra.push(("retry-after", wait.as_secs().max(1).to_string()));
+        return (429, extra, eb.to_json(), CT_JSON);
     }
-    let text = match std::str::from_utf8(body) {
+    let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
-            return (
-                400,
-                vec![],
-                ErrorBody::new("invalid_json", "body is not valid UTF-8").to_json(),
-            );
+            let mut eb = ErrorBody::new("invalid_json", "body is not valid UTF-8");
+            eb.trace_id = trace_hex();
+            record_rejection(trace, "", "invalid_json", &eb.detail, None);
+            return (400, trace_headers(trace), eb.to_json(), CT_JSON);
         }
     };
     let api: InferApiRequest = match serde_json::from_str(text) {
         Ok(api) => api,
         Err(e) => {
-            return (
-                400,
-                vec![],
-                ErrorBody::new("invalid_json", format!("body is not a valid request: {e}"))
-                    .to_json(),
-            );
+            let mut eb =
+                ErrorBody::new("invalid_json", format!("body is not a valid request: {e}"));
+            eb.trace_id = trace_hex();
+            record_rejection(trace, "", "invalid_json", &eb.detail, None);
+            return (400, trace_headers(trace), eb.to_json(), CT_JSON);
         }
     };
     let entry = match shared.registry.route(api.model.as_deref()) {
@@ -532,26 +623,75 @@ fn infer(shared: &Shared, peer_ip: IpAddr, body: &[u8]) -> Routed {
                 format!("no model named `{}`", api.model.as_deref().unwrap_or("")),
             );
             eb.models = Some(shared.registry.names());
-            return (404, vec![], eb.to_json());
+            eb.trace_id = trace_hex();
+            record_rejection(
+                trace,
+                api.model.as_deref().unwrap_or(""),
+                "model_not_found",
+                &eb.detail,
+                api.priority.as_deref(),
+            );
+            return (404, trace_headers(trace), eb.to_json(), CT_JSON);
         }
     };
     match build_request(entry, &api) {
-        Ok(req) => match entry.handle().submit(req).and_then(|p| p.wait()) {
-            Ok(resp) => {
-                let api_resp = InferApiResponse::from_engine(entry.name(), &resp);
-                (
-                    200,
-                    vec![],
-                    serde_json::to_string(&api_resp)
-                        .expect("infer response serialization cannot fail"),
-                )
+        Ok(mut req) => {
+            if let Some(t) = trace {
+                req = req.with_trace(t);
             }
-            Err(err) => {
-                let (status, eb) = serve_error_body(&err);
-                (status, vec![], eb.to_json())
+            match entry.handle().submit(req) {
+                Ok(pending) => match pending.wait() {
+                    Ok(resp) => {
+                        // The engine echoes the submitted id (or the one
+                        // it minted) back on the response.
+                        let api_resp = InferApiResponse::from_engine(entry.name(), &resp);
+                        (
+                            200,
+                            trace_headers(resp.trace.or(trace)),
+                            serde_json::to_string(&api_resp)
+                                .expect("infer response serialization cannot fail"),
+                            CT_JSON,
+                        )
+                    }
+                    // Post-admission failure: the engine already left
+                    // the trace record (deadline, eviction, panic).
+                    Err(err) => {
+                        let (status, mut eb) = serve_error_body(&err);
+                        eb.trace_id = trace_hex();
+                        (status, trace_headers(trace), eb.to_json(), CT_JSON)
+                    }
+                },
+                // Synchronous admission rejection (shed, queue full,
+                // infeasible budget, bad input): record it here.
+                Err(err) => {
+                    let (status, mut eb) = serve_error_body(&err);
+                    eb.trace_id = trace_hex();
+                    let priority = match &err {
+                        ServeError::Overloaded { priority, .. } => Some(priority.to_string()),
+                        _ => api.priority.clone(),
+                    };
+                    record_rejection(
+                        trace,
+                        entry.name(),
+                        &eb.error,
+                        &eb.detail,
+                        priority.as_deref(),
+                    );
+                    (status, trace_headers(trace), eb.to_json(), CT_JSON)
+                }
             }
-        },
-        Err(eb) => (400, vec![], eb.to_json()),
+        }
+        Err(mut eb) => {
+            eb.trace_id = trace_hex();
+            record_rejection(
+                trace,
+                entry.name(),
+                &eb.error,
+                &eb.detail,
+                api.priority.as_deref(),
+            );
+            (400, trace_headers(trace), eb.to_json(), CT_JSON)
+        }
     }
 }
 

@@ -68,6 +68,8 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ANTIDOTE_OBS",
     "ANTIDOTE_TRACE",
     "ANTIDOTE_LOG",
+    "ANTIDOTE_OBS_RECORDER_SLOW",
+    "ANTIDOTE_OBS_RECORDER_ERRORS",
     // core / bench training harness
     "ANTIDOTE_SCALE",
     "ANTIDOTE_WORKLOAD",

@@ -74,7 +74,10 @@ fn event_log() -> &'static Mutex<EventLog> {
     LOG.get_or_init(|| Mutex::new(EventLog::default()))
 }
 
-fn start_instant() -> Instant {
+/// The process observability epoch: first use wins, and every
+/// monotonic timestamp in the crate (event `ts_ms`/`mono_ns`, window
+/// ticks, trace-record capture times) is relative to it.
+pub(crate) fn start_instant() -> Instant {
     static T0: OnceLock<Instant> = OnceLock::new();
     *T0.get_or_init(Instant::now)
 }
@@ -112,11 +115,20 @@ pub fn set_trace_path(path: &str) -> bool {
 /// The line always lands in the bounded in-memory ring (and the trace
 /// file when one is set); it is echoed to stderr when `level` clears
 /// the console threshold. Rendered shape:
-/// `{"ts_ms":…,"level":"…","kind":"…",<fields>}`.
+/// `{"ts_ms":…,"unix_ms":…,"mono_ns":…,"level":"…","kind":"…",<fields>}`
+/// — `ts_ms`/`mono_ns` are monotonic (ms/ns since process start, safe
+/// for ordering across the ring even when the wall clock steps),
+/// `unix_ms` is the wall clock for cross-host correlation.
 pub fn event(level: Level, kind: &str, fields: &[(&str, Value<'_>)]) {
-    let ts_ms = start_instant().elapsed().as_millis() as u64;
+    let elapsed = start_instant().elapsed();
+    let ts_ms = elapsed.as_millis() as u64;
+    let mono_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
     let mut line = format!(
-        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"kind\":\"{}\"",
+        "{{\"ts_ms\":{ts_ms},\"unix_ms\":{unix_ms},\"mono_ns\":{mono_ns},\"level\":\"{}\",\"kind\":\"{}\"",
         level.as_str(),
         json::escape(kind)
     );
@@ -228,6 +240,29 @@ mod tests {
         assert_eq!(events_dropped(), 5);
         // Oldest events were evicted.
         assert!(lines[0].contains("\"i\":5"));
+        clear_ring();
+    }
+
+    #[test]
+    fn events_carry_monotonic_and_wall_clock_timestamps() {
+        let _guard = test_lock::hold();
+        clear_ring();
+        info("t.mono", &[("i", Value::U64(0))]);
+        info("t.mono", &[("i", Value::U64(1))]);
+        let lines = drain_events();
+        let mono: Vec<u64> = lines
+            .iter()
+            .filter(|l| l.contains("t.mono"))
+            .map(|l| {
+                let tail = l.split("\"mono_ns\":").nth(1).expect("mono_ns field");
+                tail.split(',').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert_eq!(mono.len(), 2);
+        // Monotonic: later events never order before earlier ones even
+        // if the wall clock steps.
+        assert!(mono[0] <= mono[1], "{mono:?}");
+        assert!(lines.iter().all(|l| !l.contains("t.mono") || l.contains("\"unix_ms\":")));
         clear_ring();
     }
 

@@ -19,6 +19,14 @@
 //!    (`ANTIDOTE_TRACE=path`) and/or stderr (console sink, gated by
 //!    `ANTIDOTE_LOG=off|warn|info|debug`).
 //!
+//! On top of those, the request-tracing layer (`DESIGN.md` §14) adds:
+//! [`TraceId`]s with a per-thread span/counter collector
+//! ([`collect_begin`]/[`collect_end`]), a flight recorder retaining
+//! slowest-N and errored per-request records ([`record_trace`],
+//! [`traces_json`]), rotating 60×1s windows over every counter/gauge/
+//! histogram ([`window`], surfaced through [`Snapshot`]), and a
+//! Prometheus text-exposition renderer ([`prom`]).
+//!
 //! Everything is **off by default**. The only cost on a hot path while
 //! disabled is one relaxed atomic load ([`enabled`]); `scripts/tier1.sh`
 //! smoke-checks that a dense forward pass is unaffected. Enable
@@ -47,19 +55,28 @@ pub mod env;
 mod event;
 mod json;
 mod metrics;
+pub mod prom;
+mod recorder;
 mod span;
 mod stats;
+mod trace;
+pub mod window;
 
 pub use event::{
     debug, drain_events, event, events_dropped, info, set_console_level, set_trace_path,
     warn_event, Level, Value,
 };
 pub use metrics::{
-    counter_add, counter_value, gauge_set, hist_record, reset, snapshot, HistSnapshot, Snapshot,
-    SpanSnapshot,
+    counter_add, counter_value, gauge_set, hist_record, reset, snapshot, snapshot_at,
+    CounterRates, GaugeRange, HistSnapshot, Snapshot, SpanSnapshot,
+};
+pub use recorder::{
+    clear_recorder, record_trace, recorder_counts, recorder_dump_events, set_recorder_caps,
+    traces_json, TraceRecord, TraceSpanRec, DEFAULT_ERROR_CAP, DEFAULT_SLOW_CAP,
 };
 pub use span::{layer_span, span, SpanGuard, SpanStat};
 pub use stats::percentile;
+pub use trace::{collect_begin, collect_end, collecting, Collected, CollectedSpan, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
@@ -80,14 +97,18 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Applies the `ANTIDOTE_OBS`, `ANTIDOTE_TRACE`, and `ANTIDOTE_LOG`
-/// environment knobs (idempotent; subsequent calls are no-ops).
+/// Applies the `ANTIDOTE_OBS`, `ANTIDOTE_TRACE`, `ANTIDOTE_LOG`, and
+/// `ANTIDOTE_OBS_RECORDER_*` environment knobs (idempotent; subsequent
+/// calls are no-ops).
 ///
 /// - `ANTIDOTE_OBS=1|true|on` enables collection ([`set_enabled`]);
 /// - `ANTIDOTE_TRACE=path` mirrors events to a JSONL file
 ///   ([`set_trace_path`]), warn-and-ignore if the file cannot be opened;
 /// - `ANTIDOTE_LOG=off|warn|info|debug` sets the console sink threshold
-///   (default `warn`), warn-and-ignore on anything else.
+///   (default `warn`), warn-and-ignore on anything else;
+/// - `ANTIDOTE_OBS_RECORDER_SLOW` / `ANTIDOTE_OBS_RECORDER_ERRORS`
+///   (positive integers) size the flight recorder's slowest-N and
+///   errored retention ([`set_recorder_caps`]).
 ///
 /// It also sweeps the environment once for *unrecognized* `ANTIDOTE_*`
 /// variables ([`env::warn_unknown`]) so a typo'd knob warns instead of
@@ -110,6 +131,14 @@ pub fn init_from_env() {
                 "debug" => set_console_level(Some(Level::Debug)),
                 _ => event::warn_ignored_env("ANTIDOTE_LOG", &raw, "must be off|warn|info|debug"),
             }
+        }
+        let slow = env::positive::<usize>("ANTIDOTE_OBS_RECORDER_SLOW");
+        let errors = env::positive::<usize>("ANTIDOTE_OBS_RECORDER_ERRORS");
+        if slow.is_some() || errors.is_some() {
+            set_recorder_caps(
+                slow.unwrap_or(DEFAULT_SLOW_CAP),
+                errors.unwrap_or(DEFAULT_ERROR_CAP),
+            );
         }
     });
 }

@@ -1,38 +1,63 @@
 //! Global metrics registry: counters, gauges, bounded-sample histograms,
-//! and the [`Snapshot`] that freezes everything (spans included) for
-//! reporting.
+//! their rotating 60s windows, and the [`Snapshot`] that freezes
+//! everything (spans included) for reporting.
 
 use crate::json;
 use crate::span::SpanStat;
 use crate::stats::percentile;
+use crate::window::{now_tick, GaugeWindow, RateWindow, SampleWindow, WINDOW_BUCKETS};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Histograms keep at most this many recent samples (ring semantics);
-/// `count` still reflects every recorded value.
+/// `count` still reflects every recorded value and evictions increment
+/// the `obs.hist_overflow` counter (plus the per-histogram `overflow`
+/// snapshot field) so truncation is never silent.
 const HIST_CAP: usize = 16_384;
 
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
     pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
-    counters: Mutex<BTreeMap<String, u64>>,
-    gauges: Mutex<BTreeMap<String, f64>>,
+    counters: Mutex<BTreeMap<String, CounterCell>>,
+    gauges: Mutex<BTreeMap<String, GaugeCell>>,
     hists: Mutex<BTreeMap<String, BoundedSamples>>,
+}
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    total: u64,
+    window: RateWindow,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: f64,
+    window: GaugeWindow,
 }
 
 #[derive(Debug, Default)]
 struct BoundedSamples {
     recent: VecDeque<f64>,
     count: u64,
+    /// Samples evicted from the retained ring (lifetime).
+    overflow: u64,
+    window: SampleWindow,
 }
 
 impl BoundedSamples {
-    fn record(&mut self, v: f64) {
+    /// Records one sample; returns `true` when an old sample was
+    /// evicted (the caller bumps the global overflow counter outside
+    /// the hists lock).
+    fn record(&mut self, tick: u64, v: f64) -> bool {
         self.count += 1;
-        if self.recent.len() == HIST_CAP {
+        self.window.record_at(tick, v);
+        let evicted = self.recent.len() == HIST_CAP;
+        if evicted {
             self.recent.pop_front();
+            self.overflow += 1;
         }
         self.recent.push_back(v);
+        evicted
     }
 }
 
@@ -47,52 +72,67 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Adds `delta` to the named monotonic counter.
+/// Adds `delta` to the named monotonic counter (and its 60s rate
+/// window; when a trace collector is active on this thread the delta is
+/// mirrored there too).
 ///
 /// Counters always record (they are cheap and typically increment on
 /// rare events like dropped samples); guard calls on hot paths with
 /// [`crate::enabled`] at the call site.
 pub fn counter_add(name: &str, delta: u64) {
+    crate::trace::collect_counter(name, delta);
+    let tick = now_tick();
     let mut counters = lock(&registry().counters);
-    match counters.get_mut(name) {
-        Some(v) => *v += delta,
-        None => {
-            counters.insert(name.to_string(), delta);
-        }
-    }
+    let cell = counters.entry_or_default(name);
+    cell.total += delta;
+    cell.window.add_at(tick, delta);
 }
 
 /// Current value of a counter (0 if never incremented).
 pub fn counter_value(name: &str) -> u64 {
-    lock(&registry().counters).get(name).copied().unwrap_or(0)
+    lock(&registry().counters).get(name).map_or(0, |c| c.total)
 }
 
-/// Sets the named gauge to `value` (last-write-wins).
+/// Sets the named gauge to `value` (last-write-wins; the 60s window
+/// additionally tracks the min/max written each second).
 pub fn gauge_set(name: &str, value: f64) {
+    let tick = now_tick();
     let mut gauges = lock(&registry().gauges);
-    match gauges.get_mut(name) {
-        Some(v) => *v = value,
-        None => {
-            gauges.insert(name.to_string(), value);
-        }
-    }
+    let cell = gauges.entry_or_default(name);
+    cell.value = value;
+    cell.window.set_at(tick, value);
 }
 
 /// Records one sample into the named histogram. Non-finite samples are
-/// dropped with a `obs.nonfinite_dropped` counter increment.
+/// dropped with a `obs.nonfinite_dropped` counter increment; evictions
+/// from the bounded retained window increment `obs.hist_overflow`.
 pub fn hist_record(name: &str, value: f64) {
     if !value.is_finite() {
         counter_add("obs.nonfinite_dropped", 1);
         return;
     }
-    let mut hists = lock(&registry().hists);
-    match hists.get_mut(name) {
-        Some(h) => h.record(value),
-        None => {
-            let mut h = BoundedSamples::default();
-            h.record(value);
-            hists.insert(name.to_string(), h);
+    let tick = now_tick();
+    let evicted = {
+        let mut hists = lock(&registry().hists);
+        hists.entry_or_default(name).record(tick, value)
+    };
+    if evicted {
+        counter_add("obs.hist_overflow", 1);
+    }
+}
+
+/// `BTreeMap::entry(name.to_string()).or_default()` without allocating
+/// when the key already exists.
+trait EntryOrDefault<V: Default> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrDefault<V> for BTreeMap<String, V> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), V::default());
         }
+        self.get_mut(name).expect("just inserted")
     }
 }
 
@@ -112,8 +152,8 @@ pub struct SpanSnapshot {
 }
 
 /// Percentile summary of one histogram at snapshot time (computed over
-/// the retained sample window).
-#[derive(Debug, Clone, PartialEq)]
+/// the retained sample window, with 60s-windowed companions).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistSnapshot {
     /// Histogram name.
     pub name: String,
@@ -129,6 +169,49 @@ pub struct HistSnapshot {
     pub min: f64,
     /// Largest retained sample.
     pub max: f64,
+    /// Samples evicted from the retained ring (the `obs.hist_overflow`
+    /// contribution of this histogram).
+    pub overflow: u64,
+    /// Samples currently retained (the population behind `p50`/`min`/
+    /// `max`, `sum`, and `buckets`).
+    pub retained: u64,
+    /// Sum of the retained samples (Prometheus `_sum`).
+    pub sum: f64,
+    /// Cumulative counts of retained samples at each
+    /// [`crate::prom::HIST_LE`] bound (Prometheus `_bucket`).
+    pub buckets: Vec<u64>,
+    /// Samples recorded in the trailing 60s (retained or not).
+    pub w_count: u64,
+    /// Nearest-rank p50 over the trailing 60s.
+    pub w_p50: f64,
+    /// Nearest-rank p95 over the trailing 60s.
+    pub w_p95: f64,
+    /// Nearest-rank p99 over the trailing 60s.
+    pub w_p99: f64,
+}
+
+/// Windowed sums of one counter at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRates {
+    /// Counter name.
+    pub name: String,
+    /// Sum of increments in the trailing 1 second.
+    pub last_1s: u64,
+    /// Sum of increments in the trailing 10 seconds.
+    pub last_10s: u64,
+    /// Sum of increments in the trailing 60 seconds.
+    pub last_60s: u64,
+}
+
+/// Min/max of one gauge over the trailing 60 seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaugeRange {
+    /// Gauge name.
+    pub name: String,
+    /// Smallest value written in the trailing 60s.
+    pub min_60s: f64,
+    /// Largest value written in the trailing 60s.
+    pub max_60s: f64,
 }
 
 /// A point-in-time copy of every aggregate in the registry.
@@ -142,6 +225,12 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries, name-sorted.
     pub hists: Vec<HistSnapshot>,
+    /// 1s/10s/60s windowed counter sums, name-sorted (only counters
+    /// with at least one increment inside the 60s window appear).
+    pub counter_rates: Vec<CounterRates>,
+    /// 60s gauge ranges, name-sorted (only gauges written inside the
+    /// window appear).
+    pub gauge_ranges: Vec<GaugeRange>,
 }
 
 impl Snapshot {
@@ -163,6 +252,11 @@ impl Snapshot {
     /// Looks up a histogram summary by name.
     pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
         self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a counter's windowed sums by name.
+    pub fn counter_rate(&self, name: &str) -> Option<&CounterRates> {
+        self.counter_rates.iter().find(|c| c.name == name)
     }
 
     /// Renders the snapshot as a JSON object (hand-rolled; the obs crate
@@ -199,30 +293,67 @@ impl Snapshot {
             .iter()
             .map(|h| {
                 format!(
-                    "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{}}}",
+                    "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"min\":{},\"max\":{},\"overflow\":{},\"w_count\":{},\"w_p50\":{},\"w_p95\":{},\"w_p99\":{}}}",
                     json::escape(&h.name),
                     h.count,
                     json::number(h.p50),
                     json::number(h.p95),
                     json::number(h.p99),
                     json::number(h.min),
-                    json::number(h.max)
+                    json::number(h.max),
+                    h.overflow,
+                    h.w_count,
+                    json::number(h.w_p50),
+                    json::number(h.w_p95),
+                    json::number(h.w_p99)
+                )
+            })
+            .collect();
+        let rates: Vec<String> = self
+            .counter_rates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":\"{}\",\"last_1s\":{},\"last_10s\":{},\"last_60s\":{}}}",
+                    json::escape(&c.name),
+                    c.last_1s,
+                    c.last_10s,
+                    c.last_60s
+                )
+            })
+            .collect();
+        let ranges: Vec<String> = self
+            .gauge_ranges
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"name\":\"{}\",\"min_60s\":{},\"max_60s\":{}}}",
+                    json::escape(&g.name),
+                    json::number(g.min_60s),
+                    json::number(g.max_60s)
                 )
             })
             .collect();
         format!(
-            "{{\"spans\":[{}],\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}",
+            "{{\"spans\":[{}],\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}],\"counter_rates\":[{}],\"gauge_ranges\":[{}]}}",
             spans.join(","),
             counters.join(","),
             gauges.join(","),
-            hists.join(",")
+            hists.join(","),
+            rates.join(","),
+            ranges.join(",")
         )
     }
 }
 
-/// Freezes every aggregate (spans, counters, gauges, histograms) into a
-/// [`Snapshot`].
+/// Freezes every aggregate (spans, counters, gauges, histograms, and
+/// their 60s windows) into a [`Snapshot`].
 pub fn snapshot() -> Snapshot {
+    snapshot_at(now_tick())
+}
+
+/// [`snapshot`] with an explicit window tick (deterministic tests).
+pub fn snapshot_at(tick: u64) -> Snapshot {
     let reg = registry();
     let spans = lock(&reg.spans)
         .iter()
@@ -234,19 +365,53 @@ pub fn snapshot() -> Snapshot {
             max_ns: s.max_ns,
         })
         .collect();
-    let counters = lock(&reg.counters)
-        .iter()
-        .map(|(n, &v)| (n.clone(), v))
-        .collect();
-    let gauges = lock(&reg.gauges)
-        .iter()
-        .map(|(n, &v)| (n.clone(), v))
-        .collect();
+    let (counters, counter_rates) = {
+        let guard = lock(&reg.counters);
+        let counters: Vec<(String, u64)> =
+            guard.iter().map(|(n, c)| (n.clone(), c.total)).collect();
+        let rates = guard
+            .iter()
+            .filter_map(|(n, c)| {
+                let last_60s = c.window.sum_at(tick, WINDOW_BUCKETS);
+                if last_60s == 0 {
+                    return None;
+                }
+                Some(CounterRates {
+                    name: n.clone(),
+                    last_1s: c.window.sum_at(tick, 1),
+                    last_10s: c.window.sum_at(tick, 10),
+                    last_60s,
+                })
+            })
+            .collect();
+        (counters, rates)
+    };
+    let (gauges, gauge_ranges) = {
+        let guard = lock(&reg.gauges);
+        let gauges: Vec<(String, f64)> =
+            guard.iter().map(|(n, g)| (n.clone(), g.value)).collect();
+        let ranges = guard
+            .iter()
+            .filter_map(|(n, g)| {
+                g.window.range_at(tick, WINDOW_BUCKETS).map(|(lo, hi)| GaugeRange {
+                    name: n.clone(),
+                    min_60s: lo,
+                    max_60s: hi,
+                })
+            })
+            .collect();
+        (gauges, ranges)
+    };
     let hists = lock(&reg.hists)
         .iter()
         .map(|(name, h)| {
             let mut sorted: Vec<f64> = h.recent.iter().copied().collect();
             sorted.sort_by(f64::total_cmp);
+            let buckets: Vec<u64> = crate::prom::HIST_LE
+                .iter()
+                .map(|le| sorted.partition_point(|v| v <= le) as u64)
+                .collect();
+            let (w_p50, w_p95, w_p99) = h.window.percentiles_at(tick, WINDOW_BUCKETS);
             HistSnapshot {
                 name: name.clone(),
                 count: h.count,
@@ -255,6 +420,14 @@ pub fn snapshot() -> Snapshot {
                 p99: percentile(&sorted, 99.0),
                 min: sorted.first().copied().unwrap_or(0.0),
                 max: sorted.last().copied().unwrap_or(0.0),
+                overflow: h.overflow,
+                retained: sorted.len() as u64,
+                sum: sorted.iter().sum(),
+                buckets,
+                w_count: h.window.count_at(tick, WINDOW_BUCKETS),
+                w_p50,
+                w_p95,
+                w_p99,
             }
         })
         .collect();
@@ -263,6 +436,8 @@ pub fn snapshot() -> Snapshot {
         counters,
         gauges,
         hists,
+        counter_rates,
+        gauge_ranges,
     }
 }
 
@@ -302,8 +477,38 @@ mod tests {
         assert_eq!(h.p99, 99.0);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
+        assert_eq!(h.retained, 100);
+        assert_eq!(h.sum, (1..=100).sum::<u64>() as f64);
         reset();
         assert_eq!(counter_value("t.counter"), 0);
+    }
+
+    #[test]
+    fn windowed_snapshot_reports_rates_and_ranges() {
+        let _guard = test_lock::hold();
+        reset();
+        counter_add("t.windowed", 4);
+        gauge_set("t.windowed.gauge", 2.5);
+        hist_record("t.windowed.hist", 10.0);
+        hist_record("t.windowed.hist", 30.0);
+        // Snapshot "now": everything is inside every window.
+        let snap = snapshot_at(now_tick());
+        let r = snap.counter_rate("t.windowed").expect("windowed counter present");
+        assert_eq!(r.last_1s, 4);
+        assert_eq!(r.last_60s, 4);
+        let g = snap.gauge_ranges.iter().find(|g| g.name == "t.windowed.gauge").unwrap();
+        assert_eq!((g.min_60s, g.max_60s), (2.5, 2.5));
+        let h = snap.hist("t.windowed.hist").unwrap();
+        assert_eq!(h.w_count, 2);
+        assert_eq!(h.w_p50, 10.0);
+        // 100 ticks later every window has aged out.
+        let later = snapshot_at(now_tick() + 100);
+        assert!(later.counter_rate("t.windowed").is_none());
+        assert!(later.gauge_ranges.iter().all(|g| g.name != "t.windowed.gauge"));
+        assert_eq!(later.hist("t.windowed.hist").unwrap().w_count, 0);
+        // Lifetime aggregates are unaffected by window aging.
+        assert_eq!(later.counter("t.windowed"), Some(4));
+        reset();
     }
 
     #[test]
@@ -320,18 +525,43 @@ mod tests {
     }
 
     #[test]
-    fn histogram_window_is_bounded() {
+    fn histogram_window_is_bounded_and_overflow_is_counted() {
         let _guard = test_lock::hold();
         reset();
         for i in 0..(HIST_CAP + 10) {
             hist_record("t.bounded", i as f64);
         }
-        let reg = registry();
-        let hists = lock(&reg.hists);
-        let h = hists.get("t.bounded").unwrap();
-        assert_eq!(h.recent.len(), HIST_CAP);
-        assert_eq!(h.count, (HIST_CAP + 10) as u64);
-        drop(hists);
+        {
+            let reg = registry();
+            let hists = lock(&reg.hists);
+            let h = hists.get("t.bounded").unwrap();
+            assert_eq!(h.recent.len(), HIST_CAP);
+            assert_eq!(h.count, (HIST_CAP + 10) as u64);
+        }
+        // Truncation is no longer silent: both the global counter and
+        // the per-histogram snapshot field report the evictions.
+        let snap = snapshot();
+        assert_eq!(snap.counter("obs.hist_overflow"), Some(10));
+        assert_eq!(snap.hist("t.bounded").unwrap().overflow, 10);
+        assert_eq!(snap.hist("t.bounded").unwrap().retained, HIST_CAP as u64);
+        reset();
+    }
+
+    #[test]
+    fn hist_buckets_are_cumulative_against_the_ladder() {
+        let _guard = test_lock::hold();
+        reset();
+        hist_record("t.buckets", 0.3);
+        hist_record("t.buckets", 7.0);
+        hist_record("t.buckets", 7.0);
+        let snap = snapshot();
+        let h = snap.hist("t.buckets").unwrap();
+        assert_eq!(h.buckets.len(), crate::prom::HIST_LE.len());
+        for (le, c) in crate::prom::HIST_LE.iter().zip(&h.buckets) {
+            let want = [0.3, 7.0, 7.0].iter().filter(|v| **v <= *le).count() as u64;
+            assert_eq!(*c, want, "le={le}");
+        }
+        assert!(h.buckets.windows(2).all(|w| w[0] <= w[1]));
         reset();
     }
 
@@ -345,6 +575,7 @@ mod tests {
         assert!(js.starts_with('{') && js.ends_with('}'));
         assert!(js.contains("t.json\\\"quoted"));
         assert!(js.contains("\"value\":null"));
+        assert!(js.contains("\"counter_rates\":["));
         reset();
     }
 }

@@ -51,6 +51,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((name, start)) = self.live.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            crate::trace::collect_span(&name, start, ns);
             lock(&registry().spans)
                 .entry(name.into_owned())
                 .or_default()

@@ -1,0 +1,280 @@
+//! Trace ids and the thread-local span/counter collector behind
+//! per-request flight recording.
+//!
+//! A [`TraceId`] is a 128-bit identifier minted once per request (or
+//! accepted from an inbound `x-antidote-trace` header) and threaded
+//! through the serving stack so a request's queue wait, shed decision,
+//! batch, and per-layer spans can be stitched back together after the
+//! fact. Ids render as 32 lowercase hex characters.
+//!
+//! The **collector** captures the spans and counters a thread produces
+//! while executing one batch: a worker calls [`collect_begin`], runs the
+//! forward pass (whose [`crate::span`] guards and [`crate::counter_add`]
+//! calls are mirrored into the thread-local collector), then
+//! [`collect_end`] to take the captured [`Collected`] set for the
+//! request records it hands to the flight recorder
+//! ([`crate::record_trace`]). Collection is strictly opt-in per thread;
+//! when no collector is active the only added cost on the span/counter
+//! paths is one thread-local `Option` check, and the disabled-path
+//! guarantee (one relaxed atomic load, no clock read) is untouched
+//! because span guards are inert when observability is off.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A 128-bit request trace id (never zero), rendered as 32 hex chars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u128);
+
+/// SplitMix64 finalizer — cheap, well-mixed, and std-only (the obs
+/// crate takes no `rand` dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-process random-ish seed pair so ids from concurrent processes
+/// (e.g. a bench client and its server) do not collide.
+fn process_seed() -> (u64, u64) {
+    static SEED: OnceLock<(u64, u64)> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = std::process::id() as u64;
+        (splitmix64(nanos ^ pid), splitmix64(nanos.rotate_left(32) ^ pid.wrapping_mul(0x9e37)))
+    })
+}
+
+impl TraceId {
+    /// Mints a fresh process-unique id.
+    pub fn mint() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let (s1, s2) = process_seed();
+        let hi = splitmix64(s1 ^ n);
+        let lo = splitmix64(s2 ^ splitmix64(n));
+        let id = ((hi as u128) << 64) | lo as u128;
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// Parses an inbound id: 1–32 hex characters, non-zero. Anything
+    /// else returns `None` (callers mint a fresh id instead).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 32 {
+            return None;
+        }
+        match u128::from_str_radix(s, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(v) => Some(TraceId(v)),
+        }
+    }
+
+    /// The canonical 32-hex-char rendering (what the `x-antidote-trace`
+    /// response header and trace records carry).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TraceId::parse(s).ok_or_else(|| format!("invalid trace id `{s}` (want 1-32 hex chars)"))
+    }
+}
+
+/// One span captured by the collector, in nanoseconds relative to
+/// [`collect_begin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectedSpan {
+    /// Span name (e.g. `fwd.layer03`).
+    pub name: String,
+    /// Start offset from collection begin, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Everything one thread produced between [`collect_begin`] and
+/// [`collect_end`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Collected {
+    /// Completed spans in completion order.
+    pub spans: Vec<CollectedSpan>,
+    /// Per-name counter deltas (e.g. per-layer MAC counts).
+    pub counters: Vec<(String, u64)>,
+    /// Spans/counters discarded past the collector caps.
+    pub dropped: u64,
+}
+
+/// Collector caps: a runaway span storm must stay bounded.
+const COLLECT_SPAN_CAP: usize = 512;
+const COLLECT_COUNTER_CAP: usize = 256;
+
+struct ActiveCollector {
+    t0: Instant,
+    out: Collected,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<ActiveCollector>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing this thread's spans and counters. Nested begins
+/// restart the capture (the previous partial set is discarded).
+pub fn collect_begin() {
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() = Some(ActiveCollector {
+            t0: Instant::now(),
+            out: Collected::default(),
+        });
+    });
+}
+
+/// Stops capturing and returns what was collected since
+/// [`collect_begin`], or `None` if no collection was active.
+pub fn collect_end() -> Option<Collected> {
+    COLLECTOR.with(|c| c.borrow_mut().take().map(|a| a.out))
+}
+
+/// `true` while this thread has an active collector.
+pub fn collecting() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Mirrors a completed span into the active collector, if any. Called
+/// from the span guard's drop (which only fires when enabled).
+pub(crate) fn collect_span(name: &str, start: Instant, dur_ns: u64) {
+    COLLECTOR.with(|c| {
+        if let Some(a) = c.borrow_mut().as_mut() {
+            if a.out.spans.len() >= COLLECT_SPAN_CAP {
+                a.out.dropped += 1;
+                return;
+            }
+            let start_ns = u64::try_from(
+                start.saturating_duration_since(a.t0).as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
+            a.out.spans.push(CollectedSpan {
+                name: name.to_string(),
+                start_ns,
+                dur_ns,
+            });
+        }
+    });
+}
+
+/// Mirrors a counter increment into the active collector, if any.
+pub(crate) fn collect_counter(name: &str, delta: u64) {
+    COLLECTOR.with(|c| {
+        if let Some(a) = c.borrow_mut().as_mut() {
+            if let Some(slot) = a.out.counters.iter_mut().find(|(n, _)| n == name) {
+                slot.1 += delta;
+                return;
+            }
+            if a.out.counters.len() >= COLLECT_COUNTER_CAP {
+                a.out.dropped += 1;
+                return;
+            }
+            a.out.counters.push((name.to_string(), delta));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use crate::{counter_add, reset, set_enabled, span};
+
+    #[test]
+    fn trace_ids_are_unique_and_round_trip() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(TraceId::parse(&hex), Some(a));
+        assert_eq!(hex.parse::<TraceId>().ok(), Some(a));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "zz", "0", "00000000000000000000000000000000", &"f".repeat(33)] {
+            assert_eq!(TraceId::parse(bad), None, "{bad:?} must not parse");
+        }
+        // Short hex is accepted (left-padded semantics).
+        assert_eq!(TraceId::parse("ff").unwrap().to_hex(), format!("{:032x}", 0xffu32));
+    }
+
+    #[test]
+    fn collector_captures_spans_and_counters() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        collect_begin();
+        {
+            let _s = span("t.collect.span");
+        }
+        counter_add("t.collect.macs", 7);
+        counter_add("t.collect.macs", 3);
+        let got = collect_end().expect("collector active");
+        set_enabled(false);
+        assert_eq!(got.spans.len(), 1);
+        assert_eq!(got.spans[0].name, "t.collect.span");
+        assert_eq!(got.counters, vec![("t.collect.macs".to_string(), 10)]);
+        assert_eq!(got.dropped, 0);
+        // Ended: nothing further is captured.
+        assert!(!collecting());
+        reset();
+    }
+
+    #[test]
+    fn collector_is_per_thread() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        collect_begin();
+        std::thread::spawn(|| {
+            counter_add("t.collect.other_thread", 1);
+        })
+        .join()
+        .unwrap();
+        let got = collect_end().unwrap();
+        set_enabled(false);
+        assert!(got.counters.is_empty(), "other thread's counters must not leak in");
+        reset();
+    }
+
+    #[test]
+    fn collector_caps_are_enforced() {
+        let _guard = test_lock::hold();
+        reset();
+        set_enabled(true);
+        collect_begin();
+        for i in 0..(COLLECT_COUNTER_CAP + 5) {
+            counter_add(&format!("t.cap.{i}"), 1);
+        }
+        let got = collect_end().unwrap();
+        set_enabled(false);
+        assert_eq!(got.counters.len(), COLLECT_COUNTER_CAP);
+        assert_eq!(got.dropped, 5);
+        reset();
+    }
+}

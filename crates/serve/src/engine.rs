@@ -55,6 +55,7 @@ use antidote_core::report::FailureRecord;
 use antidote_core::PruneSchedule;
 use antidote_models::Network;
 use antidote_nn::masked::MacCounter;
+use antidote_obs::{TraceId, TraceRecord, TraceSpanRec};
 use antidote_tensor::Tensor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -133,6 +134,10 @@ pub struct ServeConfig {
     /// Chaos mode: periodically panic a worker mid-batch to exercise the
     /// recovery path (`ANTIDOTE_CHAOS_*`). `None` — the default — is off.
     pub chaos: Option<ChaosConfig>,
+    /// Model route label stamped into flight-recorder trace records
+    /// (`GET /debug/traces`); empty by default for engines without a
+    /// registry name.
+    pub label: String,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +152,7 @@ impl Default for ServeConfig {
             quant: QuantMode::Off,
             shed: ShedConfig::default(),
             chaos: None,
+            label: String::new(),
         }
     }
 }
@@ -304,6 +310,10 @@ pub struct InferRequest {
     pub priority: Priority,
     /// Fault injection (testing knob; `None` in production).
     pub fault: Option<Fault>,
+    /// Trace id for flight recording. `None` lets the engine mint one
+    /// when observability is enabled; front-ends that accepted an
+    /// inbound `x-antidote-trace` header set it explicitly.
+    pub trace: Option<TraceId>,
 }
 
 impl InferRequest {
@@ -316,6 +326,7 @@ impl InferRequest {
             deadline: None,
             priority: Priority::default(),
             fault: None,
+            trace: None,
         }
     }
 
@@ -334,6 +345,12 @@ impl InferRequest {
     /// Sets the priority lane.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attaches a caller-provided trace id.
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -367,6 +384,9 @@ pub struct InferResponse {
     pub queue_wait: Duration,
     /// Time from submission to response.
     pub latency: Duration,
+    /// Trace id the request ran under (the one submitted, or the one
+    /// the engine minted when observability was enabled).
+    pub trace: Option<TraceId>,
 }
 
 /// Typed terminal failures. Every submitted request ends in exactly one
@@ -486,9 +506,51 @@ struct Ticket {
     priority: Priority,
     degraded: bool,
     fault: Option<Fault>,
+    trace: Option<TraceId>,
     enqueued_at: Instant,
     deadline: Instant,
     tx: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Admission-decision label for trace records: tickets only exist
+    /// for admitted requests, so this is `admit` or `degrade`.
+    fn shed_label(&self) -> &'static str {
+        if self.degraded {
+            "degrade"
+        } else {
+            "admit"
+        }
+    }
+
+    /// Starts the flight-recorder view of this ticket: identity,
+    /// admission decision, plan, and a synthetic `queue.wait` span
+    /// covering `queue_wait`. Callers fill in the outcome and any
+    /// execution detail, then hand the record to
+    /// [`antidote_obs::record_trace`]. Returns `None` when the ticket
+    /// is untraced or observability is off.
+    fn trace_record(&self, label: &str, queue_wait: Duration) -> Option<TraceRecord> {
+        if !antidote_obs::enabled() {
+            return None;
+        }
+        let tid = self.trace?;
+        let qw = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+        let mut rec = TraceRecord::new(&tid.to_hex());
+        rec.model = label.to_string();
+        rec.priority = self.priority.as_str().to_string();
+        rec.shed = self.shed_label().to_string();
+        rec.schedule_scale = self.plan.scale;
+        rec.degraded = self.degraded;
+        rec.budget_macs = self.budget;
+        rec.queue_wait_ns = qw;
+        rec.total_ns = qw;
+        rec.spans.push(TraceSpanRec {
+            name: "queue.wait".to_string(),
+            start_ns: 0,
+            dur_ns: qw,
+        });
+        Some(rec)
+    }
 }
 
 impl Scheduled for Ticket {
@@ -527,7 +589,7 @@ impl PendingResponse {
 /// admission (sweeps during push) and the worker loop (sweeps during
 /// pop), so expired requests get their terminal response from whichever
 /// thread discovered them — never stranded behind a blocked worker.
-fn fail_expired(metrics: &Mutex<MetricsState>, expired: Vec<Ticket>) {
+fn fail_expired(metrics: &Mutex<MetricsState>, label: &str, expired: Vec<Ticket>) {
     if expired.is_empty() {
         return;
     }
@@ -535,6 +597,11 @@ fn fail_expired(metrics: &Mutex<MetricsState>, expired: Vec<Ticket>) {
     metrics.lock().expect("metrics lock").expired += expired.len() as u64;
     for t in expired {
         let waited = now.saturating_duration_since(t.enqueued_at);
+        if let Some(mut rec) = t.trace_record(label, waited) {
+            rec.outcome = "deadline_exceeded".to_string();
+            rec.detail = format!("deadline exceeded after waiting {waited:?}");
+            antidote_obs::record_trace(rec);
+        }
         let _ = t.tx.send(Err(ServeError::DeadlineExceeded { waited }));
     }
 }
@@ -549,6 +616,7 @@ pub struct ServeHandle {
     shed: ShedConfig,
     chaos: Option<Arc<ChaosMonkey>>,
     default_deadline: Duration,
+    label: Arc<str>,
 }
 
 impl std::fmt::Debug for ServeHandle {
@@ -590,7 +658,11 @@ impl ServeHandle {
                 }
             }
             ShedDecision::Shed => {
-                self.metrics.lock().expect("metrics lock").shed += 1;
+                {
+                    let mut m = self.metrics.lock().expect("metrics lock");
+                    m.shed += 1;
+                    m.shed_by_lane[req.priority.lane()] += 1;
+                }
                 if antidote_obs::enabled() {
                     antidote_obs::counter_add("serve.shed", 1);
                 }
@@ -602,6 +674,12 @@ impl ServeHandle {
         }
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
+        // A request submitted without a trace id still gets one while
+        // observability is on, so the flight recorder sees engine-only
+        // clients (serve_bench) too.
+        let trace = req
+            .trace
+            .or_else(|| antidote_obs::enabled().then(TraceId::mint));
         let ticket = Ticket {
             input,
             budget: req.budget,
@@ -609,16 +687,18 @@ impl ServeHandle {
             priority: req.priority,
             degraded,
             fault: req.fault,
+            trace,
             enqueued_at: now,
             deadline: now + req.deadline.unwrap_or(self.default_deadline),
             tx,
         };
         let push = self.queue.try_push(ticket);
-        fail_expired(&self.metrics, push.expired);
+        fail_expired(&self.metrics, &self.label, push.expired);
         match push.result {
             Ok(victim) => {
                 {
                     let mut m = self.metrics.lock().expect("metrics lock");
+                    m.admitted_by_lane[req.priority.lane()] += 1;
                     if degraded {
                         m.degraded += 1;
                     }
@@ -629,6 +709,13 @@ impl ServeHandle {
                 if let Some(v) = victim {
                     // Displaced by a higher-priority arrival at a full
                     // queue: a typed overload rejection, not a silent drop.
+                    let waited = now.saturating_duration_since(v.enqueued_at);
+                    if let Some(mut rec) = v.trace_record(&self.label, waited) {
+                        rec.outcome = "overloaded".to_string();
+                        rec.detail =
+                            "evicted from a full queue by a higher-priority arrival".to_string();
+                        antidote_obs::record_trace(rec);
+                    }
                     let _ = v.tx.send(Err(ServeError::Overloaded {
                         pressure: 1.0,
                         priority: v.priority,
@@ -729,6 +816,7 @@ impl ServeEngine {
         ));
         let queue = Arc::new(SloQueue::new(cfg.queue_capacity, Priority::COUNT));
         let metrics = Arc::new(Mutex::new(MetricsState::new(cfg.max_batch)));
+        let label: Arc<str> = Arc::from(cfg.label.as_str());
         let monkey = cfg
             .chaos
             .map(|chaos| Arc::new(ChaosMonkey::new(chaos, cfg.workers)));
@@ -745,14 +833,15 @@ impl ServeEngine {
                 let mapper = Arc::clone(&mapper);
                 let factory = Arc::clone(&factory);
                 let monkey = monkey.clone();
+                let label = Arc::clone(&label);
                 let max_batch = cfg.max_batch;
                 let max_wait = cfg.max_wait;
                 std::thread::Builder::new()
                     .name(format!("antidote-serve-{id}"))
                     .spawn(move || {
                         worker_loop(
-                            id, replica, factory, queue, metrics, mapper, monkey, max_batch,
-                            max_wait,
+                            id, replica, factory, queue, metrics, mapper, monkey, label,
+                            max_batch, max_wait,
                         )
                     })
                     .expect("failed to spawn serve worker")
@@ -765,6 +854,7 @@ impl ServeEngine {
             shed: cfg.shed,
             chaos: monkey,
             default_deadline: cfg.default_deadline,
+            label,
         };
         Ok(Self {
             handle,
@@ -818,6 +908,7 @@ fn worker_loop(
     metrics: Arc<Mutex<MetricsState>>,
     mapper: Arc<BudgetMapper>,
     monkey: Option<Arc<ChaosMonkey>>,
+    label: Arc<str>,
     max_batch: usize,
     max_wait: Duration,
 ) {
@@ -826,7 +917,7 @@ fn worker_loop(
         // for any expired entries the queue sweeps out while we wait.
         let first = loop {
             let pop = queue.pop_until(None);
-            fail_expired(&metrics, pop.expired);
+            fail_expired(&metrics, &label, pop.expired);
             if let Some(t) = pop.item {
                 break t;
             }
@@ -840,7 +931,7 @@ fn worker_loop(
         let mut batch = vec![first];
         while batch.len() < max_batch {
             let pop = queue.pop_until(Some(window_end));
-            fail_expired(&metrics, pop.expired);
+            fail_expired(&metrics, &label, pop.expired);
             match pop.item {
                 Some(t) => batch.push(t),
                 // An empty pop with expired entries returned early so
@@ -853,11 +944,11 @@ fn worker_loop(
         let launched_at = Instant::now();
         let (live, expired): (Vec<Ticket>, Vec<Ticket>) =
             batch.into_iter().partition(|t| t.deadline >= launched_at);
-        {
+        let batch_id = {
             let mut m = metrics.lock().expect("metrics lock");
             m.expired += expired.len() as u64;
-            m.record_batch(live.len());
-        }
+            m.record_batch(live.len())
+        };
         if antidote_obs::enabled() {
             // Queue depth at batch launch plus per-worker live-batch-size
             // histogram; together with the per-worker busy span below
@@ -870,6 +961,11 @@ fn worker_loop(
         }
         for t in expired {
             let waited = launched_at.duration_since(t.enqueued_at);
+            if let Some(mut rec) = t.trace_record(&label, waited) {
+                rec.outcome = "deadline_exceeded".to_string();
+                rec.detail = format!("deadline passed at batch launch after {waited:?}");
+                antidote_obs::record_trace(rec);
+            }
             let _ = t.tx.send(Err(ServeError::DeadlineExceeded { waited }));
         }
         if live.is_empty() {
@@ -888,6 +984,14 @@ fn worker_loop(
             })
             .sum();
         let tap_count = mapper.tap_count();
+        // Capture this thread's spans and counters for the batch when
+        // any live ticket is traced — the forward pass's per-layer
+        // `fwd.layerNN` spans and `.macs` counters are mirrored into
+        // the collector and stitched into each request's trace record.
+        let tracing = antidote_obs::enabled() && live.iter().any(|t| t.trace.is_some());
+        if tracing {
+            antidote_obs::collect_begin();
+        }
         let _busy = antidote_obs::span(format!("serve.worker{id:02}.busy"));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if stall_ms > 0 {
@@ -904,6 +1008,31 @@ fn worker_loop(
             let logits = model.forward_measured(&batch_input, &mut hook, &mut counter);
             (logits, hook.into_fractions(), counter.total())
         }));
+        // Take the capture whether the batch succeeded or panicked —
+        // span guards dropped during unwinding still mirrored in, so a
+        // panicked batch's partial span tree survives into its records.
+        let collected = if tracing {
+            antidote_obs::collect_end()
+        } else {
+            None
+        };
+        // Per-batch spans/counters are shared by every request in the
+        // batch; each traced ticket gets the full set, offset past its
+        // own queue wait so offsets stay request-relative.
+        let live_count = live.len() as u64;
+        let stitch = |rec: &mut TraceRecord| {
+            rec.batch_id = batch_id;
+            rec.batch_occupancy = live_count;
+            rec.worker = Some(id as u64);
+            if let Some(c) = &collected {
+                rec.spans.extend(c.spans.iter().map(|s| TraceSpanRec {
+                    name: s.name.clone(),
+                    start_ns: rec.queue_wait_ns.saturating_add(s.start_ns),
+                    dur_ns: s.dur_ns,
+                }));
+                rec.counters = c.counters.clone();
+            }
+        };
 
         match outcome {
             Ok((logits, fractions, measured_macs)) => {
@@ -917,6 +1046,14 @@ fn worker_loop(
                     let latency = now.duration_since(t.enqueued_at);
                     let queue_wait = launched_at.duration_since(t.enqueued_at);
                     m.record_completion(latency, queue_wait, achieved, t.budget);
+                    if let Some(mut rec) = t.trace_record(&label, queue_wait) {
+                        rec.achieved_macs = achieved;
+                        rec.total_ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+                        rec.keep_fractions =
+                            fractions[i].iter().flat_map(|&(c, s)| [c, s]).collect();
+                        stitch(&mut rec);
+                        antidote_obs::record_trace(rec);
+                    }
                     let response = InferResponse {
                         class: item.argmax(),
                         logits: item.into_vec(),
@@ -930,6 +1067,7 @@ fn worker_loop(
                         worker: id,
                         queue_wait,
                         latency,
+                        trace: t.trace,
                     };
                     let _ = t.tx.send(Ok(response));
                 }
@@ -940,7 +1078,15 @@ fn worker_loop(
                     m.worker_panics += 1;
                     m.panicked += live.len() as u64;
                 }
+                let now = Instant::now();
                 for t in live {
+                    let waited = now.saturating_duration_since(t.enqueued_at);
+                    if let Some(mut rec) = t.trace_record(&label, waited) {
+                        rec.outcome = "worker_panicked".to_string();
+                        rec.detail = format!("worker {id} panicked while serving this batch");
+                        stitch(&mut rec);
+                        antidote_obs::record_trace(rec);
+                    }
                     let _ = t.tx.send(Err(ServeError::WorkerPanicked { worker: id }));
                 }
                 // The old replica may hold half-written caches; rebuild.

@@ -29,8 +29,14 @@
 //!    replicas rebuilt; [`chaos::ChaosMonkey`] can inject such kills on
 //!    a schedule to keep that path continuously exercised.
 //! 5. **Observability** ([`metrics::ServeMetrics`]): throughput,
-//!    latency/queue-wait percentiles, batch-size histogram, shed and
-//!    degrade rates, achieved FLOPs vs budget — serializable to JSON.
+//!    latency/queue-wait percentiles, rotating 60×1s traffic windows,
+//!    batch-size histogram, shed and degrade rates, achieved FLOPs vs
+//!    budget — serializable to JSON. Traced requests
+//!    ([`InferRequest::with_trace`], or engine-minted ids while
+//!    observability is on) additionally leave complete per-request
+//!    records — queue wait, admission decision, batch id/occupancy,
+//!    per-layer spans and MAC counters — in `antidote_obs`'s flight
+//!    recorder (`DESIGN.md` §14).
 //!
 //! Std-only by design: the build environment vendors its dependencies
 //! offline, so there is no async runtime — concurrency is
@@ -86,6 +92,6 @@ pub use engine::{
     Fault, InferRequest, InferResponse, ModelFactory, PendingResponse, QuantMode, ServeConfig,
     ServeConfigError, ServeEngine, ServeError, ServeHandle,
 };
-pub use metrics::{percentile, LatencySummary, ServeMetrics};
+pub use metrics::{percentile, LatencySummary, ServeMetrics, WindowMetrics};
 pub use queue::{Scheduled, SloQueue};
 pub use shed::{Priority, ShedConfig, ShedDecision};

@@ -1,6 +1,9 @@
 //! Serving observability: latency percentiles, batch-size histograms,
-//! budget-utilization accounting, and a JSON-serializable snapshot.
+//! budget-utilization accounting, rotating 60×1s traffic windows, and a
+//! JSON-serializable snapshot.
 
+use antidote_obs::window::{now_tick, RateWindow, SampleWindow, WINDOW_BUCKETS};
+use crate::shed::Priority;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -80,6 +83,35 @@ pub struct BudgetMetrics {
     pub measured_macs_total: u64,
 }
 
+/// Windowed (rotating 60×1s bucket) view of the engine's recent
+/// traffic, alongside the lifetime aggregates: completion counts/rates
+/// over the trailing 1/10/60 seconds and latency percentiles over the
+/// trailing 60 seconds. All fields are zero on an idle engine — stale
+/// window buckets age out without a background thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Requests completed in the trailing 1 second.
+    pub completed_1s: u64,
+    /// Requests completed in the trailing 10 seconds.
+    pub completed_10s: u64,
+    /// Requests completed in the trailing 60 seconds.
+    pub completed_60s: u64,
+    /// Completions per second over the trailing 1 second.
+    pub rate_1s: f64,
+    /// Completions per second over the trailing 10 seconds.
+    pub rate_10s: f64,
+    /// Completions per second over the trailing 60 seconds.
+    pub rate_60s: f64,
+    /// Latency samples inside the trailing 60 seconds.
+    pub latency_count_60s: u64,
+    /// Nearest-rank p50 latency over the trailing 60 seconds, ms.
+    pub latency_p50_ms_60s: f64,
+    /// Nearest-rank p95 latency over the trailing 60 seconds, ms.
+    pub latency_p95_ms_60s: f64,
+    /// Nearest-rank p99 latency over the trailing 60 seconds, ms.
+    pub latency_p99_ms_60s: f64,
+}
+
 /// A point-in-time snapshot of everything the engine measures.
 ///
 /// Serializes to JSON via [`ServeMetrics::to_json`] for the
@@ -132,6 +164,17 @@ pub struct ServeMetrics {
     pub budget: BudgetMetrics,
     /// Engine uptime covered by this snapshot, seconds.
     pub elapsed_secs: f64,
+    /// Rotating-window view of recent traffic (absent in snapshots
+    /// serialized by older builds — defaults to all-zero).
+    #[serde(default)]
+    pub window: WindowMetrics,
+    /// Requests admitted per priority lane, indexed by
+    /// [`Priority::lane`] order (`interactive`, `standard`, `batch`).
+    #[serde(default)]
+    pub admitted_by_lane: Vec<u64>,
+    /// Requests shed at admission per priority lane, same order.
+    #[serde(default)]
+    pub shed_by_lane: Vec<u64>,
 }
 
 impl ServeMetrics {
@@ -238,6 +281,10 @@ pub(crate) struct MetricsState {
     pub utilization_max: f64,
     pub achieved_macs_total: f64,
     pub measured_macs_total: u64,
+    pub admitted_by_lane: Vec<u64>,
+    pub shed_by_lane: Vec<u64>,
+    completed_window: RateWindow,
+    latency_window: SampleWindow,
     started_at: Instant,
 }
 
@@ -262,15 +309,23 @@ impl MetricsState {
             utilization_max: 0.0,
             achieved_macs_total: 0.0,
             measured_macs_total: 0,
+            admitted_by_lane: vec![0; Priority::COUNT],
+            shed_by_lane: vec![0; Priority::COUNT],
+            completed_window: RateWindow::new(),
+            latency_window: SampleWindow::new(),
             started_at: Instant::now(),
         }
     }
 
-    pub fn record_batch(&mut self, live: usize) {
+    /// Accounts one executed batch and returns its 1-based batch id
+    /// (the running batch count — stable across workers because it is
+    /// assigned under the metrics lock).
+    pub fn record_batch(&mut self, live: usize) -> u64 {
         self.batches += 1;
         if let Some(slot) = self.batch_histogram.get_mut(live) {
             *slot += 1;
         }
+        self.batches
     }
 
     pub fn record_completion(
@@ -281,7 +336,11 @@ impl MetricsState {
         budget: Option<f64>,
     ) {
         self.completed += 1;
-        self.latencies_ms.push(latency.as_secs_f64() * 1e3);
+        let latency_ms = latency.as_secs_f64() * 1e3;
+        let tick = now_tick();
+        self.completed_window.add_at(tick, 1);
+        self.latency_window.record_at(tick, latency_ms);
+        self.latencies_ms.push(latency_ms);
         self.queue_waits_ms.push(queue_wait.as_secs_f64() * 1e3);
         self.achieved_macs_total += achieved_macs;
         if let Some(b) = budget {
@@ -293,7 +352,26 @@ impl MetricsState {
     }
 
     pub fn snapshot(&self, queue_depth: usize, chaos_kills: u64) -> ServeMetrics {
+        self.snapshot_at(queue_depth, chaos_kills, now_tick())
+    }
+
+    /// [`MetricsState::snapshot`] with an explicit window tick, so
+    /// tests can verify window aging deterministically.
+    pub fn snapshot_at(&self, queue_depth: usize, chaos_kills: u64, tick: u64) -> ServeMetrics {
         let elapsed = self.started_at.elapsed().as_secs_f64();
+        let (w_p50, w_p95, w_p99) = self.latency_window.percentiles_at(tick, WINDOW_BUCKETS);
+        let window = WindowMetrics {
+            completed_1s: self.completed_window.sum_at(tick, 1),
+            completed_10s: self.completed_window.sum_at(tick, 10),
+            completed_60s: self.completed_window.sum_at(tick, WINDOW_BUCKETS),
+            rate_1s: self.completed_window.rate_at(tick, 1),
+            rate_10s: self.completed_window.rate_at(tick, 10),
+            rate_60s: self.completed_window.rate_at(tick, WINDOW_BUCKETS),
+            latency_count_60s: self.latency_window.count_at(tick, WINDOW_BUCKETS),
+            latency_p50_ms_60s: w_p50,
+            latency_p95_ms_60s: w_p95,
+            latency_p99_ms_60s: w_p99,
+        };
         let live_batches: u64 = self.batch_histogram.iter().skip(1).sum();
         let live_requests: u64 = self
             .batch_histogram
@@ -339,6 +417,9 @@ impl MetricsState {
                 measured_macs_total: self.measured_macs_total,
             },
             elapsed_secs: elapsed,
+            window,
+            admitted_by_lane: self.admitted_by_lane.clone(),
+            shed_by_lane: self.shed_by_lane.clone(),
         }
     }
 }
@@ -399,8 +480,8 @@ mod tests {
     #[test]
     fn state_snapshot_and_json_round_trip() {
         let mut st = MetricsState::new(4);
-        st.record_batch(3);
-        st.record_batch(0);
+        assert_eq!(st.record_batch(3), 1, "batch ids are 1-based and sequential");
+        assert_eq!(st.record_batch(0), 2);
         for _ in 0..3 {
             st.record_completion(
                 Duration::from_millis(10),
@@ -433,6 +514,39 @@ mod tests {
         assert!((snap.degrade_rate() - 2.0 / 6.0).abs() < 1e-12);
         let back = ServeMetrics::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+        // Older serialized snapshots (no window/lane fields) still parse.
+        let legacy = ServeMetrics::from_json(&ServeMetrics::default().to_json());
+        assert!(legacy.is_ok());
+    }
+
+    #[test]
+    fn windowed_traffic_is_reported_and_ages_out() {
+        let mut st = MetricsState::new(4);
+        st.admitted_by_lane[Priority::Interactive.lane()] = 5;
+        st.shed_by_lane[Priority::Batch.lane()] = 2;
+        for i in 0..10u64 {
+            st.record_completion(
+                Duration::from_millis(i + 1),
+                Duration::from_millis(1),
+                10.0,
+                None,
+            );
+        }
+        let tick = now_tick();
+        let snap = st.snapshot_at(0, 0, tick);
+        let w = snap.window;
+        assert_eq!(w.completed_60s, 10);
+        assert!(w.completed_1s <= w.completed_10s && w.completed_10s <= w.completed_60s);
+        assert_eq!(w.latency_count_60s, 10);
+        assert!(w.latency_p50_ms_60s >= 1.0 && w.latency_p99_ms_60s <= 10.0);
+        assert!(w.latency_p50_ms_60s <= w.latency_p95_ms_60s);
+        assert!(w.rate_60s > 0.0);
+        assert_eq!(snap.admitted_by_lane, vec![5, 0, 0]);
+        assert_eq!(snap.shed_by_lane, vec![0, 0, 2]);
+        // Lifetime aggregates persist, but the window forgets.
+        let aged = st.snapshot_at(0, 0, tick + 200);
+        assert_eq!(aged.completed, 10);
+        assert_eq!(aged.window, WindowMetrics::default());
     }
 
     #[test]

@@ -22,9 +22,11 @@ cargo run --release -p antidote-bench --bin serve_bench -- --smoke
 # not be budget-sensitive.
 ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin overload_bench -- --smoke
 ANTIDOTE_THREADS=4 cargo run --release -p antidote-bench --bin overload_bench -- --smoke
-# Observability gates: disabled obs must not slow the dense forward path
-# (ratio bound, see DESIGN.md §9), and the per-layer profile must be
-# internally consistent (time%/MACs% sum to 100, attribution exact).
+# Observability gates: neither enabled obs nor the fully-traced path
+# (per-request collector + flight-recorder record per forward) may slow
+# the dense forward beyond the ratio bound (DESIGN.md §9, §14), and the
+# per-layer profile must be internally consistent (time%/MACs% sum to
+# 100, attribution exact).
 cargo run --release -p antidote-bench --bin profile_report -- --overhead-smoke
 cargo run --release -p antidote-bench --bin profile_report
 # Intra-op parallelism gate: bit-exact thread parity (GEMM + conv
@@ -37,10 +39,13 @@ cargo run --release -p antidote-bench --bin par_bench -- --smoke
 cargo run --release -p antidote-bench --bin quant_bench -- --smoke
 # HTTP front-end gate: an open-loop trace replayed by concurrent clients
 # over real sockets, through the parser, registry (fp32 + int8 twins),
-# SLO queue, and batched forward, ending in a graceful drain. Fails on
-# any untyped failure, status outside {200,408,429,503}, budget
-# overshoot, unserved model, or a drain-lost response. Both thread
-# budgets: the socket path must not be budget-sensitive either.
+# SLO queue, and batched forward, ending in a graceful drain. Every
+# event carries an `x-antidote-trace` id that must round-trip, and the
+# smoke plants an errored request and asserts `/debug/traces` serves it
+# back from the flight recorder. Fails on any untyped failure, status
+# outside {200,408,429,503}, budget overshoot, unserved model, a
+# drain-lost response, or a broken trace echo. Both thread budgets: the
+# socket and tracing paths must not be budget-sensitive either.
 ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin http_bench -- --smoke
 ANTIDOTE_THREADS=4 cargo run --release -p antidote-bench --bin http_bench -- --smoke
 # Documentation gate: rustdoc must build warning-clean (broken intra-doc
