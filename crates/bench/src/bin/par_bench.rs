@@ -13,15 +13,22 @@
 //!   [`REPS`] reps). Skipped with a warning when the host exposes fewer
 //!   than 4 hardware threads — the parity checks still run.
 //!
+//! The GEMM is additionally timed once per supported kernel backend
+//! (`antidote_tensor::backend`) at 1- and 4-thread budgets, and the
+//! full set of measurements is written to `results/par.json` and
+//! `results/par.txt`.
+//!
 //! `--smoke` exits non-zero on any violation; CI and `scripts/tier1.sh`
 //! run it as the parallelism regression gate. Without `--smoke` it also
 //! reports timings for budgets 1, 2 and 4.
 
 use antidote_nn::masked::{masked_conv2d, FeatureMask, MacCounter};
 use antidote_nn::{layers::Conv2d, Layer, Mode};
+use antidote_tensor::backend::{self, Backend};
 use antidote_tensor::conv::ConvGeometry;
-use antidote_tensor::linalg::matmul_into;
+use antidote_tensor::linalg::{matmul_into, matmul_into_on};
 use antidote_tensor::Tensor;
+use serde::Serialize;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -78,6 +85,94 @@ fn time_gemm(a: &[f32], b: &[f32]) -> (f64, Vec<f32>) {
         out = c;
     }
     (best, out)
+}
+
+/// Best-of-[`REPS`] wall time of the VGG-block GEMM on a specific
+/// kernel backend at the current budget.
+fn time_gemm_on(be: Backend, a: &[f32], b: &[f32]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut c = vec![0.0f32; COUT * L];
+        let t0 = Instant::now();
+        matmul_into_on(be, a, b, &mut c, COUT, CKK, L);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One per-backend GEMM measurement pair (1- and 4-thread budgets).
+#[derive(Serialize)]
+struct BackendRow {
+    backend: &'static str,
+    wall_ms_1t: f64,
+    wall_ms_4t: f64,
+}
+
+#[derive(Serialize)]
+struct ParReport {
+    shape: [usize; 3],
+    host_threads: usize,
+    /// The process-active kernel backend the gates were judged on.
+    backend: &'static str,
+    wall_ms_1t: f64,
+    wall_ms_4t: f64,
+    speedup: f64,
+    min_speedup: f64,
+    speedup_gate_ran: bool,
+    parity_ok: bool,
+    per_backend: Vec<BackendRow>,
+    passed: bool,
+}
+
+/// Atomic best-effort write (temporary sibling + rename), mirroring
+/// `antidote_bench::write_report` so a crash never truncates a report.
+fn write_atomic(dir: &std::path::Path, name: &str, contents: &str) {
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, contents).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(name));
+    }
+}
+
+fn write_results(report: &ParReport) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut txt = String::new();
+    txt.push_str("par_bench: intra-op parallelism gate\n\n");
+    txt.push_str(&format!(
+        "GEMM {}x{}x{} on active backend `{}` (host threads: {})\n",
+        report.shape[0], report.shape[1], report.shape[2], report.backend, report.host_threads
+    ));
+    txt.push_str(&format!(
+        "threads=1: {:.1} ms   threads=4: {:.1} ms   speedup {:.2}x{}\n",
+        report.wall_ms_1t,
+        report.wall_ms_4t,
+        report.speedup,
+        if report.speedup_gate_ran {
+            ""
+        } else {
+            " [speedup gate skipped: <4 cores]"
+        }
+    ));
+    txt.push_str("\nper-backend GEMM wall clock (thread budgets 1 and 4):\n");
+    for row in &report.per_backend {
+        txt.push_str(&format!(
+            "  {:<8}  1T {:>7.1} ms   4T {:>7.1} ms\n",
+            row.backend, row.wall_ms_1t, row.wall_ms_4t
+        ));
+    }
+    txt.push_str(&format!(
+        "\nparity: {}\nRESULT: {}\n",
+        if report.parity_ok { "OK (bit-exact across budgets)" } else { "FAIL" },
+        if report.passed { "PASS" } else { "FAIL" }
+    ));
+    write_atomic(&dir, "par.txt", &txt);
+    write_atomic(
+        &dir,
+        "par.json",
+        &serde_json::to_string_pretty(report).unwrap_or_default(),
+    );
 }
 
 /// Conv forward (train + eval), backward, and masked executor at the
@@ -150,7 +245,8 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
-    if !failed {
+    let parity_ok = !failed;
+    if parity_ok {
         println!("parity: OK (GEMM + conv fwd/bwd + masked_conv2d bit-exact across budgets)");
     }
 
@@ -169,7 +265,8 @@ fn main() -> ExitCode {
         let (t2, _) = time_gemm(&a, &b);
         println!("threads=2: {:8.1} ms ({:5.2} GMAC/s)   speedup: {:.2}x", t2 * 1e3, gflops(t2), t1 / t2);
     }
-    if cores >= 4 {
+    let speedup_gate_ran = cores >= 4;
+    if speedup_gate_ran {
         if speedup < MIN_SPEEDUP {
             eprintln!("FAIL: speedup {speedup:.2}x < required {MIN_SPEEDUP}x at 4 threads");
             failed = true;
@@ -182,7 +279,44 @@ fn main() -> ExitCode {
         );
     }
 
+    // Per-backend GEMM rows: the same shape on every supported kernel
+    // backend, at both budgets, for the results report.
+    println!("per-backend GEMM wall clock:");
+    let mut per_backend = Vec::new();
+    for be in Backend::supported() {
+        antidote_par::set_threads(1);
+        let w1 = time_gemm_on(be, &a, &b);
+        antidote_par::set_threads(4);
+        let w4 = time_gemm_on(be, &a, &b);
+        println!(
+            "  [{:>6}] 1T {:8.1} ms ({:5.2} GMAC/s)   4T {:8.1} ms ({:5.2} GMAC/s)",
+            be.name(),
+            w1 * 1e3,
+            gflops(w1),
+            w4 * 1e3,
+            gflops(w4),
+        );
+        per_backend.push(BackendRow {
+            backend: be.name(),
+            wall_ms_1t: w1 * 1e3,
+            wall_ms_4t: w4 * 1e3,
+        });
+    }
+
     antidote_par::set_threads(1);
+    write_results(&ParReport {
+        shape: [COUT, CKK, L],
+        host_threads: cores,
+        backend: backend::active().name(),
+        wall_ms_1t: t1 * 1e3,
+        wall_ms_4t: t4 * 1e3,
+        speedup,
+        min_speedup: MIN_SPEEDUP,
+        speedup_gate_ran,
+        parity_ok,
+        per_backend,
+        passed: !failed,
+    });
     if failed {
         ExitCode::FAILURE
     } else {

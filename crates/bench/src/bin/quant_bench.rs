@@ -11,9 +11,16 @@
 //!    (pruning composes with quantization exactly).
 //! 2. **GEMM**: on the VGG-block shape `256×2304×784`, the int8 kernel
 //!    must move strictly fewer bytes than fp32 (analytic model,
-//!    `quant::gemm_min_bytes`) and reach wall-clock parity or better
-//!    within [`WALL_TOL`] at a 4-thread budget (skipped with a warning
-//!    on hosts with fewer than 4 hardware threads).
+//!    `quant::gemm_min_bytes`), and on hosts with ≥ 4 hardware threads
+//!    the wall-clock gate runs at a 4-thread budget: with the AVX2
+//!    backend active int8 must **beat** f32 outright (the ISSUE 9
+//!    regression bar); on lesser backends parity within [`WALL_TOL`]
+//!    suffices. Hosts with fewer threads measure at their actual
+//!    budget, label the report lines with that count, and skip the
+//!    gate honestly — no fabricated `@4T` numbers. Wall-clock rows are
+//!    also recorded for *every* supported kernel backend
+//!    (`antidote_tensor::backend`), so `results/quant.{json,txt}` shows
+//!    scalar vs SSE2 vs AVX2 side by side.
 //!
 //! `--smoke` exits non-zero on any violation; CI and `scripts/tier1.sh`
 //! run it as the quantization regression gate. Results are also written
@@ -24,8 +31,9 @@ use antidote_core::trainer::{self, TrainConfig};
 use antidote_core::{DynamicPruner, PruneSchedule};
 use antidote_data::SynthConfig;
 use antidote_models::{Vgg, VggConfig};
-use antidote_tensor::linalg::matmul_into;
-use antidote_tensor::quant::{gemm_i8, gemm_min_bytes};
+use antidote_tensor::backend::{self, Backend};
+use antidote_tensor::linalg::matmul_into_on;
+use antidote_tensor::quant::{gemm_i8_on, gemm_min_bytes};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -176,14 +184,31 @@ fn accuracy_sweep(failed: &mut bool) -> Vec<ScheduleResult> {
     results
 }
 
+/// One wall-clock measurement pair for a specific kernel backend.
+#[derive(Serialize)]
+struct BackendRow {
+    backend: &'static str,
+    wall_ms_f32: f64,
+    wall_ms_int8: f64,
+}
+
 #[derive(Serialize)]
 struct GemmResult {
     shape: [usize; 3],
     bytes_f32: u64,
     bytes_i8: u64,
+    /// Thread budget the wall-clock numbers were measured at — the
+    /// host's actual core count capped at 4, never a fabricated `4`.
+    threads_used: usize,
+    /// The backend the gate judged (the process-active one).
+    backend: &'static str,
     wall_ms_f32: f64,
     wall_ms_int8: f64,
-    wall_gate_ran: bool,
+    /// Which wall-clock bar applied: `beat` (AVX2, ≥4 threads: int8
+    /// strictly faster), `parity` (≥4 threads, lesser backend: within
+    /// [`WALL_TOL`]), or `skipped` (<4 hardware threads).
+    wall_gate: &'static str,
+    per_backend: Vec<BackendRow>,
 }
 
 #[derive(Serialize)]
@@ -195,8 +220,36 @@ struct QuantReport {
     passed: bool,
 }
 
+/// Best-of-[`REPS`] wall time of the f32 GEMM on `be` at the current
+/// thread budget.
+fn time_f32_on(be: Backend, a: &[f32], b: &[f32]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut c = vec![0.0f32; M * N];
+        let t0 = Instant::now();
+        matmul_into_on(be, a, b, &mut c, M, K, N);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-[`REPS`] wall time of the int8 GEMM on `be` at the current
+/// thread budget.
+fn time_i8_on(be: Backend, a: &[i8], b: &[i8]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut c = vec![0i32; M * N];
+        let t0 = Instant::now();
+        gemm_i8_on(be, a, b, &mut c, M, K, N);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn gemm_gate(failed: &mut bool) -> GemmResult {
     let cores = antidote_par::available();
+    let threads_used = cores.min(4);
+    let active = backend::active();
     let bytes_f32 = gemm_min_bytes(M, K, N, 4);
     let bytes_i8 = gemm_min_bytes(M, K, N, 1);
     println!(
@@ -212,30 +265,60 @@ fn gemm_gate(failed: &mut bool) -> GemmResult {
     let bf = fill_f32(23, K * N);
     let ai = fill_i8(17, M * K);
     let bi = fill_i8(23, K * N);
-    antidote_par::set_threads(4);
-    let mut t_f32 = f64::INFINITY;
-    for _ in 0..REPS {
-        let mut c = vec![0.0f32; M * N];
-        let t0 = Instant::now();
-        matmul_into(&af, &bf, &mut c, M, K, N);
-        t_f32 = t_f32.min(t0.elapsed().as_secs_f64());
-    }
-    let mut t_i8 = f64::INFINITY;
-    for _ in 0..REPS {
-        let mut c = vec![0i32; M * N];
-        let t0 = Instant::now();
-        gemm_i8(&ai, &bi, &mut c, M, K, N);
-        t_i8 = t_i8.min(t0.elapsed().as_secs_f64());
+
+    // Wall-clock rows for every supported backend at the host's real
+    // budget (capped at 4 to match the gate's bar). The active
+    // backend's row doubles as the gate measurement.
+    antidote_par::set_threads(threads_used);
+    let mut per_backend = Vec::new();
+    let (mut t_f32, mut t_i8) = (f64::NAN, f64::NAN);
+    for be in Backend::supported() {
+        let tf = time_f32_on(be, &af, &bf);
+        let ti = time_i8_on(be, &ai, &bi);
+        println!(
+            "  [{:>6}] @{threads_used}T: f32 {:7.1} ms | int8 {:7.1} ms ({:.2}x)",
+            be.name(),
+            tf * 1e3,
+            ti * 1e3,
+            tf / ti
+        );
+        if be == active {
+            t_f32 = tf;
+            t_i8 = ti;
+        }
+        per_backend.push(BackendRow {
+            backend: be.name(),
+            wall_ms_f32: tf * 1e3,
+            wall_ms_int8: ti * 1e3,
+        });
     }
     antidote_par::set_threads(1);
     println!(
-        "GEMM wall clock at 4 threads: f32 {:.1} ms | int8 {:.1} ms ({:.2}x)",
+        "GEMM wall clock @{threads_used}T on active backend `{active}`: f32 {:.1} ms | int8 {:.1} ms ({:.2}x)",
         t_f32 * 1e3,
         t_i8 * 1e3,
         t_f32 / t_i8
     );
-    let wall_gate_ran = cores >= 4;
-    if wall_gate_ran {
+    let wall_gate = if cores < 4 {
+        println!(
+            "wall clock: SKIPPED (host has {cores} hardware thread(s) < 4; byte gate still ran)"
+        );
+        "skipped"
+    } else if active == Backend::Avx2 {
+        // The ISSUE 9 regression bar: with SIMD int8 kernels, int8 must
+        // be strictly *faster* than f32 at the serving thread budget.
+        if t_i8 >= t_f32 {
+            eprintln!(
+                "FAIL: int8 GEMM {:.1} ms does not beat f32 {:.1} ms on the AVX2 backend",
+                t_i8 * 1e3,
+                t_f32 * 1e3
+            );
+            *failed = true;
+        } else {
+            println!("wall clock: OK (int8 beats f32 on the AVX2 backend)");
+        }
+        "beat"
+    } else {
         if t_i8 > t_f32 * WALL_TOL {
             eprintln!(
                 "FAIL: int8 GEMM {:.1} ms misses wall-clock parity vs f32 {:.1} ms (tol {WALL_TOL}x)",
@@ -244,20 +327,22 @@ fn gemm_gate(failed: &mut bool) -> GemmResult {
             );
             *failed = true;
         } else {
-            println!("wall clock: OK (int8 within {WALL_TOL}x of f32)");
+            println!(
+                "wall clock: OK (int8 within {WALL_TOL}x of f32 on `{active}`; beat gate needs avx2)"
+            );
         }
-    } else {
-        println!(
-            "wall clock: SKIPPED (host has {cores} hardware thread(s) < 4; byte gate still ran)"
-        );
-    }
+        "parity"
+    };
     GemmResult {
         shape: [M, K, N],
         bytes_f32,
         bytes_i8,
+        threads_used,
+        backend: active.name(),
         wall_ms_f32: t_f32 * 1e3,
         wall_ms_int8: t_i8 * 1e3,
-        wall_gate_ran,
+        wall_gate,
+        per_backend,
     }
 }
 
@@ -290,13 +375,33 @@ fn write_results(schedules: Vec<ScheduleResult>, gemm: GemmResult, failed: bool)
         gemm.bytes_i8,
         gemm.bytes_f32 as f64 / gemm.bytes_i8 as f64
     ));
+    // The wall-clock lines are labeled with the thread budget the
+    // numbers were actually measured at; a host below 4 cores reports
+    // its real (capped) budget plus a skip marker instead of
+    // pretending the gate ran at 4 threads.
+    let t = gemm.threads_used;
     txt.push_str(&format!(
-        "wall clock @4T: f32 {:.1} ms, int8 {:.1} ms ({:.2}x){}\n",
+        "wall clock @{t}T (backend {}): f32 {:.1} ms, int8 {:.1} ms ({:.2}x){}\n",
+        gemm.backend,
         gemm.wall_ms_f32,
         gemm.wall_ms_int8,
         gemm.wall_ms_f32 / gemm.wall_ms_int8,
-        if gemm.wall_gate_ran { "" } else { " [gate skipped: <4 cores]" }
+        match gemm.wall_gate {
+            "beat" => " [gate: int8 must beat f32]",
+            "parity" => " [gate: parity within tolerance]",
+            _ => " [gate skipped: <4 cores]",
+        }
     ));
+    txt.push_str(&format!("\nper-backend wall clock @{t}T:\n"));
+    for row in &gemm.per_backend {
+        txt.push_str(&format!(
+            "  {:<8}  f32 {:>7.1} ms  int8 {:>7.1} ms  ({:.2}x)\n",
+            row.backend,
+            row.wall_ms_f32,
+            row.wall_ms_int8,
+            row.wall_ms_f32 / row.wall_ms_int8
+        ));
+    }
     txt.push_str(if failed { "\nRESULT: FAIL\n" } else { "\nRESULT: PASS\n" });
     write_atomic(&dir, "quant.txt", &txt);
 

@@ -4,6 +4,15 @@
 //! (global average pooling); spatial attention averages each spatial
 //! column over the channel depth. The paper uses the mean statistic; a
 //! max-pooling variant is provided as an ablation (`DESIGN.md` §6).
+//!
+//! The mean reductions dispatch through the kernel backend layer
+//! (`antidote_tensor::backend`, DESIGN.md §15). Every backend follows
+//! the same fixed striped-summation specification and is
+//! property-tested bit-exact against the scalar reference, so the
+//! attention coefficients — and therefore the pruning masks ranked
+//! from them — never depend on which SIMD ISA the host supports. The
+//! max variant stays scalar on all backends (NaN-asymmetric folds
+//! don't commute with lane reordering).
 
 use antidote_tensor::{reduce, Tensor};
 use serde::{Deserialize, Serialize};

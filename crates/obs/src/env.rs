@@ -64,6 +64,7 @@ pub fn warn_ignored(key: &str, raw: &str, reason: &str) {
 pub const KNOWN_KNOBS: &[&str] = &[
     // tensor / par
     "ANTIDOTE_THREADS",
+    "ANTIDOTE_KERNEL_BACKEND",
     // obs
     "ANTIDOTE_OBS",
     "ANTIDOTE_TRACE",

@@ -1,0 +1,848 @@
+//! x86-64 SIMD kernel implementations: the SSE2 baseline and AVX2.
+//!
+//! This is the only module in the crate allowed to use `unsafe`; every
+//! unsafe operation is either a `std::arch` unaligned load/store whose
+//! bounds are argued at the call site, or a call into an
+//! `#[target_feature(enable = "avx2")]` function guarded by a runtime
+//! `is_x86_feature_detected!` check in its safe wrapper.
+//!
+//! The f32 kernels perform the same per-element IEEE-754 operations as
+//! the scalar backend (an explicit multiply then add per lane — never
+//! FMA), so they are bit-exact against it; the i8 kernels are exact
+//! integer arithmetic restructured around `madd` (16-bit multiply,
+//! horizontal pairwise add) — see the module docs in
+//! [`super`] for the full determinism argument.
+#![allow(unsafe_code)]
+
+use crate::linalg::{four_rows_mut, MR, NC};
+
+/// 128-bit kernels using only the x86-64 baseline feature set, so every
+/// function here is safe to call on any x86-64 host.
+pub(super) mod sse2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Four-row broadcast-axpy, 4 columns per step. Per element this is
+    /// the same `mul` + `add` as the scalar backend, so bit-exact.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn axpy4_f32(
+        x: [f32; 4],
+        b: &[f32],
+        c0: &mut [f32],
+        c1: &mut [f32],
+        c2: &mut [f32],
+        c3: &mut [f32],
+    ) {
+        let n = b.len();
+        assert!(
+            c0.len() == n && c1.len() == n && c2.len() == n && c3.len() == n,
+            "axpy4 row length mismatch"
+        );
+        let vx = [
+            _mm_set1_ps(x[0]),
+            _mm_set1_ps(x[1]),
+            _mm_set1_ps(x[2]),
+            _mm_set1_ps(x[3]),
+        ];
+        let n4 = n & !3;
+        let mut j = 0;
+        while j < n4 {
+            // SAFETY: j + 4 <= n4 <= n, and every slice has length n.
+            unsafe {
+                let vb = _mm_loadu_ps(b.as_ptr().add(j));
+                for (q, c) in [&mut *c0, &mut *c1, &mut *c2, &mut *c3].into_iter().enumerate() {
+                    let pc = c.as_mut_ptr().add(j);
+                    _mm_storeu_ps(pc, _mm_add_ps(_mm_loadu_ps(pc), _mm_mul_ps(vx[q], vb)));
+                }
+            }
+            j += 4;
+        }
+        for jj in n4..n {
+            let bv = b[jj];
+            c0[jj] += x[0] * bv;
+            c1[jj] += x[1] * bv;
+            c2[jj] += x[2] * bv;
+            c3[jj] += x[3] * bv;
+        }
+    }
+
+    /// Single-row broadcast-axpy, 4 columns per step.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn axpy_f32(x: f32, b: &[f32], c: &mut [f32]) {
+        let n = b.len();
+        assert_eq!(c.len(), n, "axpy row length mismatch");
+        let vx = _mm_set1_ps(x);
+        let n4 = n & !3;
+        let mut j = 0;
+        while j < n4 {
+            // SAFETY: j + 4 <= n4 <= n = len of both slices.
+            unsafe {
+                let vb = _mm_loadu_ps(b.as_ptr().add(j));
+                let pc = c.as_mut_ptr().add(j);
+                _mm_storeu_ps(pc, _mm_add_ps(_mm_loadu_ps(pc), _mm_mul_ps(vx, vb)));
+            }
+            j += 4;
+        }
+        for jj in n4..n {
+            c[jj] += x * b[jj];
+        }
+    }
+
+    /// The 8-lane striped sum specification with two `__m128`
+    /// accumulators (lanes 0–3 and 4–7).
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn sum_f32(xs: &[f32]) -> f32 {
+        let n8 = xs.len() & !7;
+        let mut acc_lo = _mm_setzero_ps();
+        let mut acc_hi = _mm_setzero_ps();
+        let mut i = 0;
+        while i < n8 {
+            // SAFETY: i + 8 <= n8 <= xs.len().
+            unsafe {
+                acc_lo = _mm_add_ps(acc_lo, _mm_loadu_ps(xs.as_ptr().add(i)));
+                acc_hi = _mm_add_ps(acc_hi, _mm_loadu_ps(xs.as_ptr().add(i + 4)));
+            }
+            i += 8;
+        }
+        // s4[j] = acc[j] + acc[j+4], then ((s0+s2)) + ((s1+s3)) — the
+        // exact combine tree of the specification.
+        let s4 = _mm_add_ps(acc_lo, acc_hi);
+        let p = _mm_add_ps(s4, _mm_movehl_ps(s4, s4)); // [s0+s2, s1+s3, ..]
+        let mut total = _mm_cvtss_f32(p) + _mm_cvtss_f32(_mm_shuffle_ps::<1>(p, p));
+        for &v in &xs[n8..] {
+            total += v;
+        }
+        total
+    }
+
+    /// `dst[j] += src[j]`, 4 lanes per step (element-independent).
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn add_assign_f32(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        assert_eq!(src.len(), n, "add_assign length mismatch");
+        let n4 = n & !3;
+        let mut j = 0;
+        while j < n4 {
+            // SAFETY: j + 4 <= n4 <= n = len of both slices.
+            unsafe {
+                let pd = dst.as_mut_ptr().add(j);
+                let vs = _mm_loadu_ps(src.as_ptr().add(j));
+                _mm_storeu_ps(pd, _mm_add_ps(_mm_loadu_ps(pd), vs));
+            }
+            j += 4;
+        }
+        for jj in n4..n {
+            dst[jj] += src[jj];
+        }
+    }
+
+    /// `dst[j] *= s`, 4 lanes per step (element-independent).
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn scale_f32(dst: &mut [f32], s: f32) {
+        let n = dst.len();
+        let vs = _mm_set1_ps(s);
+        let n4 = n & !3;
+        let mut j = 0;
+        while j < n4 {
+            // SAFETY: j + 4 <= n4 <= n.
+            unsafe {
+                let pd = dst.as_mut_ptr().add(j);
+                _mm_storeu_ps(pd, _mm_mul_ps(_mm_loadu_ps(pd), vs));
+            }
+            j += 4;
+        }
+        for d in &mut dst[n4..] {
+            *d *= s;
+        }
+    }
+
+    /// Packs two adjacent `B`-row bytes-per-column into sign-extended
+    /// 16-bit pairs `[bp_j, bq_j]` and returns the two `madd` operand
+    /// halves for columns `j..j+4` and `j+4..j+8`.
+    ///
+    /// # Safety
+    ///
+    /// `bp` and `bq` must be readable for 8 bytes.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn load_pair_i8x8(bp: *const i8, bq: Option<*const i8>) -> (__m128i, __m128i) {
+        // SAFETY: caller guarantees 8 readable bytes behind each pointer.
+        unsafe {
+            let vp = _mm_loadl_epi64(bp as *const __m128i);
+            let vq = match bq {
+                Some(q) => _mm_loadl_epi64(q as *const __m128i),
+                None => _mm_setzero_si128(),
+            };
+            // [bp0,bq0,bp1,bq1,...,bp7,bq7] as bytes…
+            let inter = _mm_unpacklo_epi8(vp, vq);
+            // …sign-extended to i16 via the duplicate-and-shift idiom.
+            let lo16 = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(inter, inter));
+            let hi16 = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(inter, inter));
+            (lo16, hi16)
+        }
+    }
+
+    /// `i8×i8→i32` GEMM row-block kernel: pairs adjacent `p` values so
+    /// `_mm_madd_epi16` performs two MACs per 16-bit lane. All
+    /// arithmetic is exact integer math (pairwise products are at most
+    /// `128² = 16384`, their sums at most `32768`, both far inside
+    /// i32), so the result is bit-identical to the scalar kernel.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub(crate) fn gemm_i8_rows(
+        a: &[i8],
+        b: &[i8],
+        block: &mut [i32],
+        first_row: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if block.is_empty() {
+            return;
+        }
+        let rows = block.len() / n;
+        let mut r = 0;
+        while r + MR <= rows {
+            let i = first_row + r;
+            let a_rows: [&[i8]; MR] = std::array::from_fn(|q| &a[(i + q) * k..(i + q + 1) * k]);
+            let mut cs = four_rows_mut(&mut block[r * n..(r + MR) * n], n);
+            let mut j0 = 0;
+            while j0 < n {
+                let je = (j0 + NC).min(n);
+                let mut p = 0;
+                while p < k {
+                    let paired = p + 1 < k;
+                    let xs: [[i16; 2]; MR] = std::array::from_fn(|q| {
+                        [
+                            a_rows[q][p] as i16,
+                            if paired { a_rows[q][p + 1] as i16 } else { 0 },
+                        ]
+                    });
+                    if xs.iter().all(|x| x[0] == 0 && x[1] == 0) {
+                        p += 2;
+                        continue; // quantized masked inputs are exact zeros
+                    }
+                    let xpair: [__m128i; MR] = std::array::from_fn(|q| {
+                        _mm_set1_epi32(pack_pair(xs[q][0], xs[q][1]))
+                    });
+                    let bp = &b[p * n..(p + 1) * n];
+                    let bq = if paired { &b[(p + 1) * n..(p + 2) * n] } else { bp };
+                    let je8 = j0 + ((je - j0) & !7);
+                    let mut j = j0;
+                    while j < je8 {
+                        // SAFETY: j + 8 <= je8 <= n, the length of every
+                        // B row and every C row slice.
+                        unsafe {
+                            let (lo16, hi16) = load_pair_i8x8(
+                                bp.as_ptr().add(j),
+                                if paired { Some(bq.as_ptr().add(j)) } else { None },
+                            );
+                            for (q, c) in cs.iter_mut().enumerate() {
+                                let pc = c.as_mut_ptr().add(j);
+                                let acc0 = _mm_loadu_si128(pc as *const __m128i);
+                                let acc1 = _mm_loadu_si128(pc.add(4) as *const __m128i);
+                                let acc0 =
+                                    _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair[q]));
+                                let acc1 =
+                                    _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair[q]));
+                                _mm_storeu_si128(pc as *mut __m128i, acc0);
+                                _mm_storeu_si128(pc.add(4) as *mut __m128i, acc1);
+                            }
+                        }
+                        j += 8;
+                    }
+                    for jj in je8..je {
+                        let bqv = if paired { bq[jj] as i32 } else { 0 };
+                        for (q, c) in cs.iter_mut().enumerate() {
+                            c[jj] += xs[q][0] as i32 * bp[jj] as i32 + xs[q][1] as i32 * bqv;
+                        }
+                    }
+                    p += 2;
+                }
+                j0 = je;
+            }
+            r += MR;
+        }
+        while r < rows {
+            let a_row = &a[(first_row + r) * k..(first_row + r + 1) * k];
+            gemm_i8_row(a_row, b, &mut block[r * n..(r + 1) * n], k, n);
+            r += 1;
+        }
+    }
+
+    /// Single-row tail of [`gemm_i8_rows`] — the same `p`-pairing over
+    /// one output row.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn gemm_i8_row(a_row: &[i8], b: &[i8], c_row: &mut [i32], k: usize, n: usize) {
+        let mut p = 0;
+        while p < k {
+            let paired = p + 1 < k;
+            let x0 = a_row[p] as i16;
+            let x1 = if paired { a_row[p + 1] as i16 } else { 0 };
+            if x0 == 0 && x1 == 0 {
+                p += 2;
+                continue;
+            }
+            let xpair = _mm_set1_epi32(pack_pair(x0, x1));
+            let bp = &b[p * n..(p + 1) * n];
+            let bq = if paired { &b[(p + 1) * n..(p + 2) * n] } else { bp };
+            let n8 = n & !7;
+            let mut j = 0;
+            while j < n8 {
+                // SAFETY: j + 8 <= n8 <= n, the length of bp/bq/c_row.
+                unsafe {
+                    let (lo16, hi16) = load_pair_i8x8(
+                        bp.as_ptr().add(j),
+                        if paired { Some(bq.as_ptr().add(j)) } else { None },
+                    );
+                    let pc = c_row.as_mut_ptr().add(j);
+                    let acc0 = _mm_loadu_si128(pc as *const __m128i);
+                    let acc1 = _mm_loadu_si128(pc.add(4) as *const __m128i);
+                    let acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
+                    let acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
+                    _mm_storeu_si128(pc as *mut __m128i, acc0);
+                    _mm_storeu_si128(pc.add(4) as *mut __m128i, acc1);
+                }
+                j += 8;
+            }
+            for jj in n8..n {
+                let bqv = if paired { bq[jj] as i32 } else { 0 };
+                c_row[jj] += x0 as i32 * bp[jj] as i32 + x1 as i32 * bqv;
+            }
+            p += 2;
+        }
+    }
+}
+
+/// Packs an adjacent `(x_p, x_{p+1})` pair into the i32 every 16-bit
+/// `madd` operand lane-pair repeats: low word `x_p`, high word `x_{p+1}`.
+#[inline]
+fn pack_pair(x0: i16, x1: i16) -> i32 {
+    (((x1 as u16 as u32) << 16) | (x0 as u16 as u32)) as i32
+}
+
+/// 256-bit AVX2 kernels. Each `#[target_feature]` function below is
+/// reached only through a safe wrapper that re-checks
+/// `is_x86_feature_detected!("avx2")` (a cached atomic load), so the
+/// feature-gated calls are sound even if a caller bypasses
+/// `Backend::assert_supported`.
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Four-row broadcast-axpy, 8 columns per step; per-lane `mul` then
+    /// `add` (no FMA), hence bit-exact vs scalar.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn axpy4_f32(
+        x: [f32; 4],
+        b: &[f32],
+        c0: &mut [f32],
+        c1: &mut [f32],
+        c2: &mut [f32],
+        c3: &mut [f32],
+    ) {
+        let n = b.len();
+        assert!(
+            c0.len() == n && c1.len() == n && c2.len() == n && c3.len() == n,
+            "axpy4 row length mismatch"
+        );
+        let vx = [
+            _mm256_set1_ps(x[0]),
+            _mm256_set1_ps(x[1]),
+            _mm256_set1_ps(x[2]),
+            _mm256_set1_ps(x[3]),
+        ];
+        let n8 = n & !7;
+        let mut j = 0;
+        while j < n8 {
+            // SAFETY: j + 8 <= n8 <= n, and every slice has length n.
+            unsafe {
+                let vb = _mm256_loadu_ps(b.as_ptr().add(j));
+                for (q, c) in [&mut *c0, &mut *c1, &mut *c2, &mut *c3].into_iter().enumerate() {
+                    let pc = c.as_mut_ptr().add(j);
+                    _mm256_storeu_ps(
+                        pc,
+                        _mm256_add_ps(_mm256_loadu_ps(pc), _mm256_mul_ps(vx[q], vb)),
+                    );
+                }
+            }
+            j += 8;
+        }
+        for jj in n8..n {
+            let bv = b[jj];
+            c0[jj] += x[0] * bv;
+            c1[jj] += x[1] * bv;
+            c2[jj] += x[2] * bv;
+            c3[jj] += x[3] * bv;
+        }
+    }
+
+    /// Single-row broadcast-axpy, 8 columns per step.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn axpy_f32(x: f32, b: &[f32], c: &mut [f32]) {
+        let n = b.len();
+        assert_eq!(c.len(), n, "axpy row length mismatch");
+        let vx = _mm256_set1_ps(x);
+        let n8 = n & !7;
+        let mut j = 0;
+        while j < n8 {
+            // SAFETY: j + 8 <= n8 <= n = len of both slices.
+            unsafe {
+                let vb = _mm256_loadu_ps(b.as_ptr().add(j));
+                let pc = c.as_mut_ptr().add(j);
+                _mm256_storeu_ps(pc, _mm256_add_ps(_mm256_loadu_ps(pc), _mm256_mul_ps(vx, vb)));
+            }
+            j += 8;
+        }
+        for jj in n8..n {
+            c[jj] += x * b[jj];
+        }
+    }
+
+    /// The 8-lane striped sum specification with one `__m256`
+    /// accumulator (lane `l` sums `xs[l + 8i]`), combined with the
+    /// specification's fixed tree.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn sum_f32(xs: &[f32]) -> f32 {
+        let n8 = xs.len() & !7;
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < n8 {
+            // SAFETY: i + 8 <= n8 <= xs.len().
+            unsafe {
+                acc = _mm256_add_ps(acc, _mm256_loadu_ps(xs.as_ptr().add(i)));
+            }
+            i += 8;
+        }
+        let lo = _mm256_castps256_ps128(acc); // lanes 0..4
+        let hi = _mm256_extractf128_ps::<1>(acc); // lanes 4..8
+        let s4 = _mm_add_ps(lo, hi);
+        let p = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+        let mut total = _mm_cvtss_f32(p) + _mm_cvtss_f32(_mm_shuffle_ps::<1>(p, p));
+        for &v in &xs[n8..] {
+            total += v;
+        }
+        total
+    }
+
+    /// `dst[j] += src[j]`, 8 lanes per step.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn add_assign_f32(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        assert_eq!(src.len(), n, "add_assign length mismatch");
+        let n8 = n & !7;
+        let mut j = 0;
+        while j < n8 {
+            // SAFETY: j + 8 <= n8 <= n = len of both slices.
+            unsafe {
+                let pd = dst.as_mut_ptr().add(j);
+                let vs = _mm256_loadu_ps(src.as_ptr().add(j));
+                _mm256_storeu_ps(pd, _mm256_add_ps(_mm256_loadu_ps(pd), vs));
+            }
+            j += 8;
+        }
+        for jj in n8..n {
+            dst[jj] += src[jj];
+        }
+    }
+
+    /// `dst[j] *= s`, 8 lanes per step.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn scale_f32(dst: &mut [f32], s: f32) {
+        let n = dst.len();
+        let vs = _mm256_set1_ps(s);
+        let n8 = n & !7;
+        let mut j = 0;
+        while j < n8 {
+            // SAFETY: j + 8 <= n8 <= n.
+            unsafe {
+                let pd = dst.as_mut_ptr().add(j);
+                _mm256_storeu_ps(pd, _mm256_mul_ps(_mm256_loadu_ps(pd), vs));
+            }
+            j += 8;
+        }
+        for d in &mut dst[n8..] {
+            *d *= s;
+        }
+    }
+
+    /// Loads 8 columns of two adjacent `B` rows as one `madd` operand:
+    /// 16 sign-extended i16 lanes `[bp0,bq0, …, bp7,bq7]`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available and both pointers readable for 8 bytes.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn load_pair_i8x8(bp: *const i8, bq: Option<*const i8>) -> __m256i {
+        // SAFETY: caller guarantees 8 readable bytes behind each pointer.
+        unsafe {
+            let vp = _mm_loadl_epi64(bp as *const __m128i);
+            let vq = match bq {
+                Some(q) => _mm_loadl_epi64(q as *const __m128i),
+                None => _mm_setzero_si128(),
+            };
+            _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(vp, vq))
+        }
+    }
+
+    /// `i8×i8→i32` GEMM row-block kernel: the SSE2 `p`-pairing scheme at
+    /// 256-bit width — 8 i32 accumulator lanes, `_mm256_madd_epi16`
+    /// retiring 16 MACs per instruction. Exact integer arithmetic, so
+    /// bit-identical to the scalar kernel.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn gemm_i8_rows(
+        a: &[i8],
+        b: &[i8],
+        block: &mut [i32],
+        first_row: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if block.is_empty() {
+            return;
+        }
+        let rows = block.len() / n;
+        let mut r = 0;
+        while r + MR <= rows {
+            let i = first_row + r;
+            let a_rows: [&[i8]; MR] = std::array::from_fn(|q| &a[(i + q) * k..(i + q + 1) * k]);
+            let mut cs = four_rows_mut(&mut block[r * n..(r + MR) * n], n);
+            let mut j0 = 0;
+            while j0 < n {
+                let je = (j0 + NC).min(n);
+                let mut p = 0;
+                while p < k {
+                    let paired = p + 1 < k;
+                    let xs: [[i16; 2]; MR] = std::array::from_fn(|q| {
+                        [
+                            a_rows[q][p] as i16,
+                            if paired { a_rows[q][p + 1] as i16 } else { 0 },
+                        ]
+                    });
+                    if xs.iter().all(|x| x[0] == 0 && x[1] == 0) {
+                        p += 2;
+                        continue; // quantized masked inputs are exact zeros
+                    }
+                    let xpair: [__m256i; MR] = std::array::from_fn(|q| {
+                        _mm256_set1_epi32(pack_pair(xs[q][0], xs[q][1]))
+                    });
+                    let bp = &b[p * n..(p + 1) * n];
+                    let bq = if paired { &b[(p + 1) * n..(p + 2) * n] } else { bp };
+                    let je8 = j0 + ((je - j0) & !7);
+                    let mut j = j0;
+                    while j < je8 {
+                        // SAFETY: AVX2 is enabled for this fn; j + 8 <=
+                        // je8 <= n, the length of every B and C row.
+                        unsafe {
+                            let w16 = load_pair_i8x8(
+                                bp.as_ptr().add(j),
+                                if paired { Some(bq.as_ptr().add(j)) } else { None },
+                            );
+                            for (q, c) in cs.iter_mut().enumerate() {
+                                let pc = c.as_mut_ptr().add(j) as *mut __m256i;
+                                let acc = _mm256_loadu_si256(pc as *const __m256i);
+                                _mm256_storeu_si256(
+                                    pc,
+                                    _mm256_add_epi32(acc, _mm256_madd_epi16(w16, xpair[q])),
+                                );
+                            }
+                        }
+                        j += 8;
+                    }
+                    for jj in je8..je {
+                        let bqv = if paired { bq[jj] as i32 } else { 0 };
+                        for (q, c) in cs.iter_mut().enumerate() {
+                            c[jj] += xs[q][0] as i32 * bp[jj] as i32 + xs[q][1] as i32 * bqv;
+                        }
+                    }
+                    p += 2;
+                }
+                j0 = je;
+            }
+            r += MR;
+        }
+        while r < rows {
+            let a_row = &a[(first_row + r) * k..(first_row + r + 1) * k];
+            gemm_i8_row(a_row, b, &mut block[r * n..(r + 1) * n], k, n);
+            r += 1;
+        }
+    }
+
+    /// Single-row tail of [`gemm_i8_rows`].
+    #[target_feature(enable = "avx2")]
+    fn gemm_i8_row(a_row: &[i8], b: &[i8], c_row: &mut [i32], k: usize, n: usize) {
+        let mut p = 0;
+        while p < k {
+            let paired = p + 1 < k;
+            let x0 = a_row[p] as i16;
+            let x1 = if paired { a_row[p + 1] as i16 } else { 0 };
+            if x0 == 0 && x1 == 0 {
+                p += 2;
+                continue;
+            }
+            let xpair = _mm256_set1_epi32(pack_pair(x0, x1));
+            let bp = &b[p * n..(p + 1) * n];
+            let bq = if paired { &b[(p + 1) * n..(p + 2) * n] } else { bp };
+            let n8 = n & !7;
+            let mut j = 0;
+            while j < n8 {
+                // SAFETY: AVX2 is enabled for this fn; j + 8 <= n8 <= n.
+                unsafe {
+                    let w16 = load_pair_i8x8(
+                        bp.as_ptr().add(j),
+                        if paired { Some(bq.as_ptr().add(j)) } else { None },
+                    );
+                    let pc = c_row.as_mut_ptr().add(j) as *mut __m256i;
+                    let acc = _mm256_loadu_si256(pc as *const __m256i);
+                    _mm256_storeu_si256(
+                        pc,
+                        _mm256_add_epi32(acc, _mm256_madd_epi16(w16, xpair)),
+                    );
+                }
+                j += 8;
+            }
+            for jj in n8..n {
+                let bqv = if paired { bq[jj] as i32 } else { 0 };
+                c_row[jj] += x0 as i32 * bp[jj] as i32 + x1 as i32 * bqv;
+            }
+            p += 2;
+        }
+    }
+}
+
+// Safe wrappers over the `sse2` module. SSE2 is unconditionally part of
+// the x86-64 baseline ABI — `#[cfg(target_arch = "x86_64")]` (how this
+// whole module is gated) *is* the feature guarantee — so each call is
+// vacuously sound; the `#[target_feature]` attributes on the kernels
+// exist only to satisfy the intrinsic-safety rules inside them.
+
+/// Safe wrapper over [`sse2::axpy4_f32`].
+#[inline]
+pub(super) fn sse2_axpy4_f32(
+    x: [f32; 4],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::axpy4_f32(x, b, c0, c1, c2, c3) }
+}
+
+/// Safe wrapper over [`sse2::axpy_f32`].
+#[inline]
+pub(super) fn sse2_axpy_f32(x: f32, b: &[f32], c: &mut [f32]) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::axpy_f32(x, b, c) }
+}
+
+/// Safe wrapper over [`sse2::sum_f32`].
+#[inline]
+pub(super) fn sse2_sum_f32(xs: &[f32]) -> f32 {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::sum_f32(xs) }
+}
+
+/// Safe wrapper over [`sse2::add_assign_f32`].
+#[inline]
+pub(super) fn sse2_add_assign_f32(dst: &mut [f32], src: &[f32]) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::add_assign_f32(dst, src) }
+}
+
+/// Safe wrapper over [`sse2::scale_f32`].
+#[inline]
+pub(super) fn sse2_scale_f32(dst: &mut [f32], s: f32) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::scale_f32(dst, s) }
+}
+
+/// Safe wrapper over [`sse2::gemm_i8_rows`].
+#[inline]
+pub(super) fn sse2_gemm_i8_rows(
+    a: &[i8],
+    b: &[i8],
+    block: &mut [i32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
+    // SAFETY: SSE2 is part of the x86-64 baseline.
+    unsafe { sse2::gemm_i8_rows(a, b, block, first_row, k, n) }
+}
+
+/// Asserts the runtime AVX2 guarantee the `#[target_feature]` kernels
+/// rely on. `is_x86_feature_detected!` caches its answer in an atomic,
+/// so this is one relaxed load + branch per kernel call — noise next to
+/// the vector work each call performs.
+#[inline]
+fn assert_avx2() {
+    assert!(
+        std::arch::is_x86_feature_detected!("avx2"),
+        "AVX2 backend dispatched on a host without AVX2"
+    );
+}
+
+/// Safe wrapper over [`avx2::axpy4_f32`].
+#[inline]
+pub(super) fn avx2_axpy4_f32(
+    x: [f32; 4],
+    b: &[f32],
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::axpy4_f32(x, b, c0, c1, c2, c3) }
+}
+
+/// Safe wrapper over [`avx2::axpy_f32`].
+#[inline]
+pub(super) fn avx2_axpy_f32(x: f32, b: &[f32], c: &mut [f32]) {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::axpy_f32(x, b, c) }
+}
+
+/// Safe wrapper over [`avx2::sum_f32`].
+#[inline]
+pub(super) fn avx2_sum_f32(xs: &[f32]) -> f32 {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::sum_f32(xs) }
+}
+
+/// Safe wrapper over [`avx2::add_assign_f32`].
+#[inline]
+pub(super) fn avx2_add_assign_f32(dst: &mut [f32], src: &[f32]) {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::add_assign_f32(dst, src) }
+}
+
+/// Safe wrapper over [`avx2::scale_f32`].
+#[inline]
+pub(super) fn avx2_scale_f32(dst: &mut [f32], s: f32) {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::scale_f32(dst, s) }
+}
+
+/// Safe wrapper over [`avx2::gemm_i8_rows`].
+#[inline]
+pub(super) fn avx2_gemm_i8_rows(
+    a: &[i8],
+    b: &[i8],
+    block: &mut [i32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_avx2();
+    // SAFETY: AVX2 availability checked above.
+    unsafe { avx2::gemm_i8_rows(a, b, block, first_row, k, n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Backend;
+
+    fn fill_f32(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if s >> 60 == 0 {
+                    0.0
+                } else {
+                    ((s >> 33) as f32 / (1u64 << 31) as f32) * 2.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    fn fill_i8(seed: u64, len: usize) -> Vec<i8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Full i8 range including -128, with zeros sprinkled in.
+                let v = ((s >> 33) & 0xFF) as u8 as i8;
+                if (s >> 57) & 0x7 == 0 {
+                    0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simd_axpy4_bit_exact_vs_scalar() {
+        for be in Backend::supported() {
+            for n in [1usize, 3, 4, 7, 8, 13, 33] {
+                let b = fill_f32(n as u64, n);
+                let mut rows_simd: Vec<Vec<f32>> =
+                    (0..4).map(|q| fill_f32(100 + q, n)).collect();
+                let mut rows_ref = rows_simd.clone();
+                let x = [0.5f32, -1.25, 0.0, 3.0];
+                let [s0, s1, s2, s3] = &mut rows_simd[..] else {
+                    unreachable!()
+                };
+                be.axpy4_f32(x, &b, s0, s1, s2, s3);
+                let [r0, r1, r2, r3] = &mut rows_ref[..] else {
+                    unreachable!()
+                };
+                Backend::Scalar.axpy4_f32(x, &b, r0, r1, r2, r3);
+                for (s, r) in rows_simd.iter().zip(&rows_ref) {
+                    let sb: Vec<u32> = s.iter().map(|v| v.to_bits()).collect();
+                    let rb: Vec<u32> = r.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(sb, rb, "{be} axpy4 mismatch at n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_sum_bit_exact_vs_scalar() {
+        for be in Backend::supported() {
+            for n in [0usize, 1, 7, 8, 9, 16, 49, 100] {
+                let xs = fill_f32(n as u64 + 5, n);
+                assert_eq!(
+                    be.sum_f32(&xs).to_bits(),
+                    Backend::Scalar.sum_f32(&xs).to_bits(),
+                    "{be} sum mismatch at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_gemm_i8_exact_vs_scalar() {
+        for be in Backend::supported() {
+            for (m, k, n) in [(1, 1, 1), (4, 2, 8), (5, 3, 7), (6, 5, 16), (9, 8, 11)] {
+                let a = fill_i8(m as u64 * 7 + k as u64, m * k);
+                let b = fill_i8(n as u64 * 13 + 1, k * n);
+                let mut c_be = vec![1i32; m * n];
+                let mut c_ref = vec![1i32; m * n];
+                be.gemm_i8_rows(&a, &b, &mut c_be, 0, k, n);
+                Backend::Scalar.gemm_i8_rows(&a, &b, &mut c_ref, 0, k, n);
+                assert_eq!(c_be, c_ref, "{be} i8 gemm mismatch at ({m},{k},{n})");
+            }
+        }
+    }
+}

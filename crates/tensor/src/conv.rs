@@ -5,7 +5,14 @@
 //! `(Cout, Cin·K·K)` and the *column matrix* `(Cin·K·K, Hout·Wout)` built
 //! per batch item by [`im2col`]. The reverse scatter [`col2im`] implements
 //! the input-gradient path of the backward pass.
+//!
+//! [`im2col`] is backend-dispatched ([`im2col_on`]): the scalar backend
+//! keeps the obviously-correct per-element gather below, while the SIMD
+//! backends replace it with zero-fill plus contiguous/strided span
+//! copies of the valid output range — pure data movement, so every
+//! backend produces identical bytes.
 
+use crate::backend::{self, Backend};
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution (square kernels, symmetric padding).
@@ -85,6 +92,26 @@ pub fn im2col(
     geom: ConvGeometry,
     out: &mut [f32],
 ) {
+    im2col_on(backend::active(), input, c, h, w, geom, out);
+}
+
+/// [`im2col`] on an explicit kernel [`Backend`]. Packing is pure data
+/// movement, so every backend writes identical bytes; the non-scalar
+/// backends just do it with span copies instead of a per-element gather.
+///
+/// # Panics
+///
+/// Panics if `be` is not supported on this host.
+pub fn im2col_on(
+    be: Backend,
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    out: &mut [f32],
+) {
+    be.assert_supported();
     let k = geom.kernel;
     let (hout, wout) = geom.output_size(h, w);
     debug_assert_eq!(input.len(), c * h * w);
@@ -92,11 +119,14 @@ pub fn im2col(
     let cols = hout * wout;
     let pad = geom.padding as isize;
     let stride = geom.stride;
+    let fast = be != Backend::Scalar;
     for ci in 0..c {
         let plane = &input[ci * h * w..(ci + 1) * h * w];
         for ky in 0..k {
             for kx in 0..k {
                 let row = ((ci * k + ky) * k + kx) * cols;
+                // ix = ox·stride + shift for every output column ox.
+                let shift = kx as isize - pad;
                 for oy in 0..hout {
                     let iy = (oy * stride) as isize + ky as isize - pad;
                     let out_row = &mut out[row + oy * wout..row + (oy + 1) * wout];
@@ -105,13 +135,43 @@ pub fn im2col(
                         continue;
                     }
                     let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                    for (ox, slot) in out_row.iter_mut().enumerate() {
-                        let ix = (ox * stride) as isize + kx as isize - pad;
-                        *slot = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            src_row[ix as usize]
-                        };
+                    if !fast {
+                        // Scalar backend: reference per-element gather.
+                        for (ox, slot) in out_row.iter_mut().enumerate() {
+                            let ix = (ox * stride) as isize + shift;
+                            *slot = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                src_row[ix as usize]
+                            };
+                        }
+                        continue;
+                    }
+                    // Fast path: the in-bounds columns `0 <= ix < w`
+                    // form one contiguous ox span [lo, hi); zero-fill
+                    // outside it, copy inside it.
+                    let lo = if shift >= 0 {
+                        0
+                    } else {
+                        ((-shift) as usize).div_ceil(stride)
+                    }
+                    .min(wout);
+                    let hi = if (w as isize) <= shift {
+                        lo
+                    } else {
+                        ((w as isize - shift) as usize)
+                            .div_ceil(stride)
+                            .clamp(lo, wout)
+                    };
+                    out_row[..lo].fill(0.0);
+                    out_row[hi..].fill(0.0);
+                    if stride == 1 {
+                        let start = (lo as isize + shift) as usize;
+                        out_row[lo..hi].copy_from_slice(&src_row[start..start + (hi - lo)]);
+                    } else {
+                        for (ox, slot) in out_row[lo..hi].iter_mut().enumerate() {
+                            *slot = src_row[(((lo + ox) * stride) as isize + shift) as usize];
+                        }
                     }
                 }
             }

@@ -8,6 +8,9 @@
 //! - [`Tensor`]: an owned, row-major, dense `f32` array with elementwise
 //!   arithmetic and reductions;
 //! - [`Shape`]: dimension bookkeeping with row-major stride/offset math;
+//! - [`backend`]: pluggable CPU kernel backends (scalar / SSE2 / AVX2)
+//!   selected once at startup by runtime ISA detection, overridable via
+//!   `ANTIDOTE_KERNEL_BACKEND`;
 //! - [`linalg`]: cache-blocked GEMM kernels (plain, `AᵀB`, `ABᵀ`) that the
 //!   convolution layers lower onto;
 //! - [`conv`]: `im2col`/`col2im` plus an obviously-correct reference
@@ -37,9 +40,15 @@
 //!
 //! [AntiDote (DATE 2020)]: https://doi.org/10.23919/DATE48585.2020
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the explicitly-audited SIMD
+// intrinsic kernels in `backend::x86`, which carry module-level
+// `#![allow(unsafe_code)]` plus per-call-site safety arguments (the
+// only unsafety is `std::arch` loads/stores and feature-gated calls
+// guarded by `is_x86_feature_detected!` at backend selection).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod conv;
 mod error;
 pub mod init;

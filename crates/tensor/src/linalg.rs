@@ -19,7 +19,20 @@
 //! or many. `ANTIDOTE_THREADS=1` therefore produces bit-identical output
 //! to any other thread budget — the property tests in
 //! `tests/par_parity_props.rs` pin this with `==`, not `allclose`.
+//!
+//! **Kernel backends.** The inner per-row-block arithmetic is supplied
+//! by a [`crate::backend::Backend`] (scalar / SSE2 / AVX2): the loop
+//! nests, blocking, and zero-skip decisions above stay shared and
+//! backend-independent, while the innermost broadcast-axpy dispatches
+//! to the active backend's SIMD implementation. The `*_on` entry points
+//! ([`matmul_into_on`], [`matmul_at_b_on`]) take an explicit backend
+//! (used by the property tests and benches); the plain entry points run
+//! on [`crate::backend::active`]. [`matmul_a_bt`] is the exception that
+//! stays on the scalar path under every backend: its inner loop is a
+//! serial dot product whose accumulation order cannot be vectorized
+//! without changing f32 results.
 
+use crate::backend::{self, Backend};
 use crate::{Shape, Tensor};
 
 /// Microkernel register-block height: output rows computed together.
@@ -129,11 +142,32 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// Panics (debug assertions) if slice lengths do not match `m*k`, `k*n`,
 /// `m*n`.
 pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_into_on(backend::active(), a, b, c, m, k, n);
+}
+
+/// [`matmul_into`] on an explicit kernel [`Backend`] — every backend
+/// produces bit-identical output (see [`crate::backend`]), so this
+/// exists for the per-backend property tests and bench rows rather
+/// than for behavioral choice.
+///
+/// # Panics
+///
+/// Panics if `be` is not supported on this host.
+pub fn matmul_into_on(
+    be: Backend,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    be.assert_supported();
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     par_row_blocks(c, m, n, k * n, &|first_row, block| {
-        matmul_rows(a, b, block, first_row, k, n);
+        matmul_rows(be, a, b, block, first_row, k, n);
     });
 }
 
@@ -144,7 +178,15 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// only when *all* its `A` entries are zero (masked rows produce exact
 /// zeros), so the skip decision — like everything else — depends only on
 /// absolute row indices.
-fn matmul_rows(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k: usize, n: usize) {
+fn matmul_rows(
+    be: Backend,
+    a: &[f32],
+    b: &[f32],
+    block: &mut [f32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = block.len() / n;
     let mut r = 0;
     while r + MR <= rows {
@@ -160,18 +202,14 @@ fn matmul_rows(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k: usi
                     continue;
                 }
                 let b_row = &b[p * n + j0..p * n + je];
-                let iter = c0[j0..je]
-                    .iter_mut()
-                    .zip(&mut c1[j0..je])
-                    .zip(&mut c2[j0..je])
-                    .zip(&mut c3[j0..je])
-                    .zip(b_row);
-                for ((((v0, v1), v2), v3), &bv) in iter {
-                    *v0 += x0 * bv;
-                    *v1 += x1 * bv;
-                    *v2 += x2 * bv;
-                    *v3 += x3 * bv;
-                }
+                be.axpy4_f32(
+                    [x0, x1, x2, x3],
+                    b_row,
+                    &mut c0[j0..je],
+                    &mut c1[j0..je],
+                    &mut c2[j0..je],
+                    &mut c3[j0..je],
+                );
             }
             j0 = je;
         }
@@ -184,10 +222,7 @@ fn matmul_rows(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k: usi
             if a_ip == 0.0 {
                 continue; // masked rows/cols produce exact zeros; skip them
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ip * b_pj;
-            }
+            be.axpy_f32(a_ip, &b[p * n..(p + 1) * n], c_row);
         }
         r += 1;
     }
@@ -203,17 +238,38 @@ fn matmul_rows(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k: usi
 /// accumulation order as the naive `i`-outer nest), which is what lets
 /// row blocks run in parallel with bit-exact results.
 pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_at_b_on(backend::active(), a, b, c, m, k, n);
+}
+
+/// [`matmul_at_b`] on an explicit kernel [`Backend`] (bit-identical
+/// across backends; see [`matmul_into_on`]).
+///
+/// # Panics
+///
+/// Panics if `be` is not supported on this host.
+pub fn matmul_at_b_on(
+    be: Backend,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    be.assert_supported();
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
     par_row_blocks(c, k, n, m * n, &|first_row, block| {
-        matmul_at_b_rows(a, b, block, first_row, m, k, n);
+        matmul_at_b_rows(be, a, b, block, first_row, m, k, n);
     });
 }
 
 /// [`matmul_at_b`] microkernel for output rows (columns of `A`)
 /// `first_row .. first_row + block.len() / n`.
+#[allow(clippy::too_many_arguments)]
 fn matmul_at_b_rows(
+    be: Backend,
     a: &[f32],
     b: &[f32],
     block: &mut [f32],
@@ -238,18 +294,7 @@ fn matmul_at_b_rows(
                 continue;
             }
             let b_row = &b[i * n..(i + 1) * n];
-            let iter = c0
-                .iter_mut()
-                .zip(c1.iter_mut())
-                .zip(c2.iter_mut())
-                .zip(c3.iter_mut())
-                .zip(b_row);
-            for ((((v0, v1), v2), v3), &bv) in iter {
-                *v0 += x0 * bv;
-                *v1 += x1 * bv;
-                *v2 += x2 * bv;
-                *v3 += x3 * bv;
-            }
+            be.axpy4_f32([x0, x1, x2, x3], b_row, c0, c1, c2, c3);
         }
         r += MR;
     }
@@ -261,10 +306,7 @@ fn matmul_at_b_rows(
             if a_ip == 0.0 {
                 continue;
             }
-            let b_row = &b[i * n..(i + 1) * n];
-            for (c_pj, &b_ij) in c_row.iter_mut().zip(b_row) {
-                *c_pj += a_ip * b_ij;
-            }
+            be.axpy_f32(a_ip, &b[i * n..(i + 1) * n], c_row);
         }
         r += 1;
     }
@@ -272,6 +314,11 @@ fn matmul_at_b_rows(
 
 /// GEMM with the right operand transposed: `C (m×k) = A (m×n) · Bᵀ` where
 /// `B` is `k×n`. Used by backward passes for input gradients.
+///
+/// Deliberately **not** backend-dispatched: each output element is a
+/// serial dot product, and vectorizing it would change the f32
+/// accumulation order (and therefore result bits). It only runs in
+/// training backward passes, never on the serving path.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(b.len(), k * n);

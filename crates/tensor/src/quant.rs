@@ -44,6 +44,7 @@
 //! }
 //! ```
 
+use crate::backend::{self, Backend};
 use crate::linalg::{four_rows_mut, par_row_blocks, MR, NC};
 
 /// The symmetric int8 quantization ceiling. The representable range is
@@ -162,27 +163,54 @@ impl QuantizedMatrix {
 /// `linalg` module docs carries over verbatim (and is trivially stronger
 /// here: integer addition is associative).
 ///
-/// Overflow cannot occur for any practically sized `k`:
-/// `|a·b| ≤ 127² = 16129`, so `k` may reach `i32::MAX / 16129 ≈ 133 000`
-/// before saturation — two orders of magnitude above the largest
-/// `Cin·K·K` in the model zoo (4608 for VGG16 block 5).
+/// Overflow cannot occur for any practically sized `k`. The inputs are
+/// arbitrary `i8`, so a single product is bounded by `(-128)² = 16384`
+/// (not `127² = 16129` — this crate's quantizers clamp to `[-127, 127]`
+/// and never emit −128, but `gemm_i8` must be safe for callers that
+/// do): `k` may reach `i32::MAX / 16384 = 131 071` before the `i32`
+/// accumulator can saturate — two orders of magnitude above the largest
+/// `Cin·K·K` in the model zoo (4608 for VGG16 block 5). The full-range
+/// bound, −128 included, is pinned by a proptest in
+/// `tests/quant_props.rs`.
 ///
 /// # Panics
 ///
 /// Panics (debug assertions) if slice lengths do not match `m*k`, `k*n`,
 /// `m*n`.
 pub fn gemm_i8(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    gemm_i8_on(backend::active(), a, b, c, m, k, n);
+}
+
+/// [`gemm_i8`] on an explicit kernel [`Backend`]. Integer accumulation
+/// is exact, so every backend returns identical results — the SIMD
+/// backends restructure the loop around the ISA's 16-bit
+/// multiply-accumulate (`madd`), which is what finally makes the int8
+/// path faster than f32 rather than merely smaller.
+///
+/// # Panics
+///
+/// Panics if `be` is not supported on this host.
+pub fn gemm_i8_on(be: Backend, a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    be.assert_supported();
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     par_row_blocks(c, m, n, k * n, &|first_row, block| {
-        gemm_i8_rows(a, b, block, first_row, k, n);
+        be.gemm_i8_rows(a, b, block, first_row, k, n);
     });
 }
 
-/// [`gemm_i8`] microkernel for output rows
-/// `first_row .. first_row + block.len() / n`.
-fn gemm_i8_rows(a: &[i8], b: &[i8], block: &mut [i32], first_row: usize, k: usize, n: usize) {
+/// Scalar [`gemm_i8`] row-block kernel for output rows
+/// `first_row .. first_row + block.len() / n` — the reference the SIMD
+/// backends are property-tested against.
+pub(crate) fn gemm_i8_rows_scalar(
+    a: &[i8],
+    b: &[i8],
+    block: &mut [i32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = block.len() / n;
     let mut r = 0;
     while r + MR <= rows {
@@ -192,10 +220,11 @@ fn gemm_i8_rows(a: &[i8], b: &[i8], block: &mut [i32], first_row: usize, k: usiz
         let mut j0 = 0;
         while j0 < n {
             let je = (j0 + NC).min(n);
-            // Products are computed in i16: |i8·i8| ≤ 127² = 16129
-            // fits, and baseline SSE2/NEON has a native 16-bit vector
-            // multiply where a 32-bit one would be emulated. Only the
-            // accumulate widens to i32.
+            // Products are computed in i16: |i8·i8| ≤ 128² = 16384
+            // (the extreme is (-128)·(-128); i16::MAX is 32767), and
+            // baseline SSE2/NEON has a native 16-bit vector multiply
+            // where a 32-bit one would be emulated. Only the accumulate
+            // widens to i32.
             for p in 0..k {
                 let (x0, x1, x2, x3) = (
                     a_rows[0][p] as i16,

@@ -3,7 +3,16 @@
 //! These are the primitives behind the paper's attention coefficients:
 //! Eq. (1) is [`spatial_mean_per_channel`], Eq. (2) is
 //! [`channel_mean_per_position`].
+//!
+//! The two mean statistics are backend-dispatched (`*_on` variants):
+//! the spatial sum follows the fixed 8-lane striped reduction
+//! specification of `crate::backend`, so scalar, SSE2, and AVX2 produce
+//! bit-identical attention coefficients — the pruning masks derived
+//! from them cannot depend on the host's ISA. The max statistics stay
+//! scalar on every backend: their sequential `fold` is asymmetric in
+//! NaN handling and cheap enough not to matter.
 
+use crate::backend::{self, Backend};
 use crate::Tensor;
 
 /// Per-channel mean over the spatial dimensions of an `(N, C, H, W)` map —
@@ -13,14 +22,24 @@ use crate::Tensor;
 ///
 /// Panics if `f` is not rank 4.
 pub fn spatial_mean_per_channel(f: &Tensor) -> Tensor {
+    spatial_mean_per_channel_on(backend::active(), f)
+}
+
+/// [`spatial_mean_per_channel`] on an explicit kernel [`Backend`]
+/// (bit-identical across backends by the striped-sum specification).
+///
+/// # Panics
+///
+/// Panics if `f` is not rank 4 or `be` is unsupported on this host.
+pub fn spatial_mean_per_channel_on(be: Backend, f: &Tensor) -> Tensor {
+    be.assert_supported();
     let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
     let plane = h * w;
     let inv = 1.0 / plane as f32;
     let mut out = Tensor::zeros([n, c]);
     let (src, dst) = (f.data(), out.data_mut());
     for i in 0..n * c {
-        let s: f32 = src[i * plane..(i + 1) * plane].iter().sum();
-        dst[i] = s * inv;
+        dst[i] = be.sum_f32(&src[i * plane..(i + 1) * plane]) * inv;
     }
     out
 }
@@ -32,6 +51,19 @@ pub fn spatial_mean_per_channel(f: &Tensor) -> Tensor {
 ///
 /// Panics if `f` is not rank 4.
 pub fn channel_mean_per_position(f: &Tensor) -> Tensor {
+    channel_mean_per_position_on(backend::active(), f)
+}
+
+/// [`channel_mean_per_position`] on an explicit kernel [`Backend`].
+/// The accumulation is element-independent (position `p` only ever adds
+/// channel values at position `p`, in ascending channel order), so every
+/// backend is trivially bit-exact.
+///
+/// # Panics
+///
+/// Panics if `f` is not rank 4 or `be` is unsupported on this host.
+pub fn channel_mean_per_position_on(be: Backend, f: &Tensor) -> Tensor {
+    be.assert_supported();
     let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
     let plane = h * w;
     let inv = 1.0 / c as f32;
@@ -40,21 +72,19 @@ pub fn channel_mean_per_position(f: &Tensor) -> Tensor {
     for ni in 0..n {
         let dst_plane = &mut dst[ni * plane..(ni + 1) * plane];
         for ci in 0..c {
-            let src_plane = &src[(ni * c + ci) * plane..(ni * c + ci + 1) * plane];
-            for (d, &s) in dst_plane.iter_mut().zip(src_plane) {
-                *d += s;
-            }
+            be.add_assign_f32(
+                dst_plane,
+                &src[(ni * c + ci) * plane..(ni * c + ci + 1) * plane],
+            );
         }
-        for d in dst_plane.iter_mut() {
-            *d *= inv;
-        }
+        be.scale_f32(dst_plane, inv);
     }
     out
 }
 
 /// Per-channel spatial maximum of an `(N, C, H, W)` map; the max-pool
 /// variant of the attention statistic (used as an ablation). Returns
-/// `(N, C)`.
+/// `(N, C)`. Stays scalar on every backend (see the module docs).
 pub fn spatial_max_per_channel(f: &Tensor) -> Tensor {
     let (n, c, h, w) = f.shape().as_nchw().expect("expected NCHW feature map");
     let plane = h * w;

@@ -6,9 +6,12 @@
 //! `±scale·127`, and the int8 GEMM agrees exactly with a naive
 //! `i32`-accumulating reference at every shape and thread budget.
 
+use antidote_tensor::backend::Backend;
 use antidote_tensor::quant::{
-    self, dequantize_value, gemm_i8, quantize_value, scale_for_absmax, QuantizedMatrix, QMAX,
+    self, dequantize_value, gemm_i8, gemm_i8_on, quantize_value, scale_for_absmax,
+    QuantizedMatrix, QMAX,
 };
+use proptest::collection;
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random i8 operand with zeros sprinkled in so the
@@ -130,6 +133,83 @@ proptest! {
             antidote_par::set_threads(prev);
             prop_assert!(c == expect, "mismatch at ({m},{k},{n}) threads={threads}");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The overflow invariant that actually holds (and that `gemm_i8`'s
+    // docs now claim): single products are bounded by (−128)² = 16384,
+    // not 127² — so the GEMM must be exact over the FULL i8 range,
+    // −128 included, on every backend. The operand vecs are drawn
+    // uniformly from −128..=127 and sliced to the generated shape.
+    #[test]
+    fn gemm_i8_exact_over_full_i8_range(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..24,
+        a_pool in collection::vec(-128i8..=127i8, 12 * 24),
+        b_pool in collection::vec(-128i8..=127i8, 24 * 24),
+    ) {
+        let a = &a_pool[..m * k];
+        let b = &b_pool[..k * n];
+        let expect = naive_gemm_i8(a, b, m, k, n);
+        for be in Backend::supported() {
+            let mut c = vec![0i32; m * n];
+            gemm_i8_on(be, a, b, &mut c, m, k, n);
+            prop_assert!(c == expect, "[{be}] mismatch at ({m},{k},{n})");
+        }
+    }
+
+    // The quantization entry points, by contrast, are exactly symmetric:
+    // they clamp to [−127, 127] and can never emit −128, for any input
+    // (finite, infinite, or NaN-adjacent scales are exercised by the
+    // wide ranges).
+    #[test]
+    fn quantizers_never_emit_i8_min(
+        v in -1e9f32..1e9,
+        absmax in 0.0f32..1e6,
+    ) {
+        let q = quantize_value(v, scale_for_absmax(absmax));
+        prop_assert!(q >= -(QMAX as i8), "quantize_value({v}) = {q}");
+        prop_assert!(q as i32 <= QMAX);
+    }
+
+    // …including per-row weight quantization of arbitrary matrices.
+    #[test]
+    fn per_row_quantization_never_emits_i8_min(
+        rows in 1usize..5,
+        cols in 1usize..10,
+        pool in collection::vec(-1e6f32..1e6, 5 * 10),
+    ) {
+        let w = &pool[..rows * cols];
+        let q = QuantizedMatrix::quantize_symmetric_per_row(w, rows, cols);
+        prop_assert!(q.data.iter().all(|&v| v >= -(QMAX as i8)));
+    }
+}
+
+/// Pins the documented accumulator headroom at its extreme: a
+/// contraction of `k = 131 071 = i32::MAX / 16384` all-(−128) products
+/// reaches `2 147 467 264` without wrapping — on every backend,
+/// including the SIMD `madd` pairing (whose pairwise sums hit the
+/// worst-case `32 768`).
+#[test]
+fn gemm_i8_survives_worst_case_accumulation() {
+    let k = (i32::MAX / (128 * 128)) as usize; // 131 071
+    // m = 4 and n = 8 so the SIMD kernels run their register-blocked
+    // vector path (not just scalar tails).
+    let (m, n) = (4, 8);
+    let a = vec![-128i8; m * k];
+    let b = vec![-128i8; k * n];
+    for be in Backend::supported() {
+        let mut c = vec![0i32; m * n];
+        gemm_i8_on(be, &a, &b, &mut c, m, k, n);
+        assert!(
+            c.iter().all(|&v| v == k as i32 * 16384),
+            "[{be}] worst-case accumulation wrapped: {:?}",
+            &c[..4]
+        );
     }
 }
 
