@@ -10,7 +10,7 @@ use antidote_models::{Network, NoopHook, Vgg, VggConfig};
 use antidote_nn::masked::MacCounter;
 use antidote_nn::Mode;
 use antidote_core::{DynamicPruner, PruneSchedule};
-use antidote_tensor::{init, Tensor};
+use antidote_tensor::init;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,0 +1,294 @@
+//! `.adm` model-format gate: convert → cold-start → serve, bit-exactly.
+//!
+//! Exercises the full artifact lifecycle the single-file model format
+//! exists for (DESIGN.md §16, `docs/FORMAT.md`):
+//!
+//! 1. **Convert** — train a tiny VGG on the synthetic split, capture a
+//!    v2 checkpoint with its embedded `VggConfig`, and produce fp32 and
+//!    int8 `.adm` artifacts through `antidote-modelfile` (the same path
+//!    the `convert` binary takes, calibration included).
+//! 2. **Cold start** — build a `ModelRegistry` from the artifact
+//!    directory (`ModelRegistry::specs_from_dir`, every checksum
+//!    verified) and time it against rebuilding the same engines from
+//!    scratch (checkpoint restore + calibration + quantization — the
+//!    work a server without artifacts redoes on every boot).
+//! 3. **Bit-exactness** — at `workers=1` with sequential single-request
+//!    submissions, both file-loaded variants must return logits
+//!    *bit-identical* (`to_bits`) to engines built from the in-memory
+//!    artifacts that were saved.
+//!
+//! Results land in `results/adm.json` / `results/adm.txt`. `--smoke`
+//! exits non-zero on any violation; CI and `scripts/tier1.sh` run it as
+//! the model-format regression gate (the workload is already
+//! seconds-scale, so smoke and full runs are identical).
+//!
+//! Two extra flags wire the tier-1 CLI round trip:
+//!
+//! - `--emit-checkpoint <path>` additionally saves the trained v2
+//!   checkpoint, for the `convert` binary to consume;
+//! - `--model-dir <dir>` skips training and conversion: the checkpoint
+//!   is loaded from `<dir>/ckpt.json` and the `.adm` files are whatever
+//!   the `convert` binary left in `<dir>` — proving artifacts written
+//!   by the shipped CLI cold-start and serve bit-exactly too.
+
+use antidote_core::checkpoint::Checkpoint;
+use antidote_core::quant::CalibrationMethod;
+use antidote_core::trainer::{self, TrainConfig};
+use antidote_data::SynthConfig;
+use antidote_http::{ModelRegistry, ModelSource, ModelSpec};
+use antidote_modelfile::{ModelArtifact, ModelDtype};
+use antidote_models::{NoopHook, Vgg, VggConfig};
+use antidote_serve::{InferRequest, ModelFactory, QuantMode, ServeConfig};
+use antidote_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const IMAGE_SIZE: usize = 8;
+const CLASSES: usize = 3;
+/// Sequential probe requests per variant for the bit-exactness gate.
+const PROBES: usize = 6;
+
+fn serve_config(quant: QuantMode) -> ServeConfig {
+    ServeConfig {
+        // One worker and single-request batches: sequential submission
+        // is deterministic, so logits admit to_bits comparison.
+        workers: 1,
+        max_batch: 1,
+        quant,
+        ..ServeConfig::default()
+    }
+}
+
+fn probe_input(i: usize) -> Tensor {
+    let n = 3 * IMAGE_SIZE * IMAGE_SIZE;
+    let vals: Vec<f32> = (0..n)
+        .map(|j| ((i * 193 + j * 7) % 23) as f32 * 0.04 - 0.44)
+        .collect();
+    Tensor::from_vec(vals, &[3, IMAGE_SIZE, IMAGE_SIZE]).expect("probe shape")
+}
+
+/// Sequential single-request logits from the named variant, as bits.
+fn probe_logits(registry: &ModelRegistry, model: &str) -> Vec<Vec<u32>> {
+    (0..PROBES)
+        .map(|i| {
+            registry
+                .route(Some(model))
+                .expect("registered variant")
+                .handle()
+                .submit(InferRequest::new(probe_input(i)))
+                .expect("admitted")
+                .wait()
+                .expect("served")
+                .logits
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct DtypeRow {
+    dtype: &'static str,
+    file_bytes: u64,
+    bit_exact: bool,
+}
+
+#[derive(Serialize)]
+struct AdmReport {
+    convert_ms: f64,
+    cold_start_file_ms: f64,
+    cold_start_scratch_ms: f64,
+    cold_start_speedup: f64,
+    dtypes: Vec<DtypeRow>,
+    passed: bool,
+}
+
+fn write_results(report: &AdmReport) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut txt = String::new();
+    txt.push_str("adm_bench: .adm model-format gate (convert -> cold-start -> serve)\n\n");
+    txt.push_str(&format!(
+        "convert (train ckpt -> fp32 + int8 .adm): {:.1} ms\n",
+        report.convert_ms
+    ));
+    txt.push_str(&format!(
+        "registry cold start: from .adm dir {:.1} ms | from scratch (restore+calibrate+quantize) {:.1} ms | speedup {:.1}x\n\n",
+        report.cold_start_file_ms, report.cold_start_scratch_ms, report.cold_start_speedup
+    ));
+    for row in &report.dtypes {
+        txt.push_str(&format!(
+            "  {:<5} {:>8} bytes on disk   logits vs in-memory build: {}\n",
+            row.dtype,
+            row.file_bytes,
+            if row.bit_exact { "bit-exact" } else { "MISMATCH" }
+        ));
+    }
+    txt.push_str(&format!(
+        "\nRESULT: {}\n",
+        if report.passed { "PASS" } else { "FAIL" }
+    ));
+    antidote_bench::atomic_write(&dir, "adm.txt", &txt);
+    antidote_bench::atomic_write(
+        &dir,
+        "adm.json",
+        &serde_json::to_string_pretty(report).unwrap_or_default(),
+    );
+}
+
+fn main() -> ExitCode {
+    let _smoke = std::env::args().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        let mut args = std::env::args();
+        args.find(|a| a == flag).and_then(|_| args.next())
+    };
+    let emit_checkpoint = flag_value("--emit-checkpoint");
+    let model_dir = flag_value("--model-dir");
+    antidote_obs::init_from_env();
+    antidote_par::set_threads(1);
+
+    // 1. The source checkpoint: trained here, or — with `--model-dir` —
+    // the one a previous run left next to the CLI-converted artifacts.
+    let (ckpt, dir, own_dir) = match &model_dir {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            let ckpt = Checkpoint::load(dir.join("ckpt.json")).expect("checkpoint in model dir");
+            println!("adm_bench: serving CLI-converted artifacts from {}", dir.display());
+            (ckpt, dir, false)
+        }
+        None => {
+            let config = VggConfig::vgg_tiny(IMAGE_SIZE, CLASSES);
+            let data =
+                SynthConfig::tiny(CLASSES, IMAGE_SIZE).with_samples(40, 20).generate();
+            let mut vgg = Vgg::new(&mut SmallRng::seed_from_u64(5), config.clone());
+            let history =
+                trainer::train(&mut vgg, &data, &mut NoopHook, &TrainConfig::fast_test());
+            println!(
+                "adm_bench: trained {} epochs, final train acc {:.3}",
+                history.epochs.len(),
+                history.final_train_acc()
+            );
+            let ckpt = Checkpoint::capture(&mut vgg).with_vgg_config(config);
+            let dir = std::env::temp_dir().join(format!("adm_bench_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("scratch model dir");
+            (ckpt, dir, true)
+        }
+    };
+    if let Some(path) = &emit_checkpoint {
+        ckpt.save(path).expect("emit checkpoint");
+        println!("checkpoint saved to {path}");
+    }
+
+    // 2. Convert: checkpoint -> fp32 artifact -> int8 artifact -> .adm
+    // files (skipped under `--model-dir`: the `convert` binary already
+    // wrote them, with the same default calibration settings).
+    let t0 = Instant::now();
+    if own_dir {
+        let fp32 = ModelArtifact::from_checkpoint(&ckpt, None).expect("fp32 artifact");
+        let int8 = fp32
+            .quantize(CalibrationMethod::MinMax, 16, 4, 0)
+            .expect("int8 artifact");
+        fp32.save(dir.join("tiny-fp32.adm")).expect("save fp32");
+        int8.save(dir.join("tiny-int8.adm")).expect("save int8");
+    }
+    let convert_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let file_bytes = |name: &str| std::fs::metadata(dir.join(name)).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "convert: {convert_ms:.1} ms -> tiny-fp32.adm ({} bytes), tiny-int8.adm ({} bytes)",
+        file_bytes("tiny-fp32.adm"),
+        file_bytes("tiny-int8.adm"),
+    );
+
+    // 3a. Cold start from the artifact directory (one sequential read +
+    // checksum verification per file, then factory builds per replica).
+    let t0 = Instant::now();
+    let mut file_specs = ModelRegistry::specs_from_dir(&dir).expect("specs from dir");
+    for spec in &mut file_specs {
+        let quant = spec.config.quant;
+        spec.config = serve_config(quant);
+    }
+    let file_registry = ModelRegistry::start(file_specs).expect("file registry");
+    let cold_start_file_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // 3b. The no-artifact baseline: rebuild both variants from the raw
+    // checkpoint, re-running calibration + quantization for the int8
+    // twin — the boot-time work the .adm file amortizes to zero.
+    let t0 = Instant::now();
+    let scratch_fp32 = ModelArtifact::from_checkpoint(&ckpt, None).expect("scratch fp32");
+    let scratch_int8 = scratch_fp32
+        .quantize(CalibrationMethod::MinMax, 16, 4, 0)
+        .expect("scratch int8");
+    let scratch_specs = vec![
+        spec_of("tiny-fp32", &scratch_fp32),
+        spec_of("tiny-int8", &scratch_int8),
+    ];
+    let memory_registry = ModelRegistry::start(scratch_specs).expect("memory registry");
+    let cold_start_scratch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_start_speedup = cold_start_scratch_ms / cold_start_file_ms.max(1e-9);
+    println!(
+        "cold start: .adm dir {cold_start_file_ms:.1} ms | scratch {cold_start_scratch_ms:.1} ms | {cold_start_speedup:.1}x"
+    );
+
+    // 4. Bit-exactness: file-loaded vs in-memory-built logits.
+    let mut failed = false;
+    let mut dtypes = Vec::new();
+    for (model, file) in [("tiny-fp32", "tiny-fp32.adm"), ("tiny-int8", "tiny-int8.adm")] {
+        let from_file = probe_logits(&file_registry, model);
+        let from_memory = probe_logits(&memory_registry, model);
+        let bit_exact = from_file == from_memory;
+        if !bit_exact {
+            eprintln!("FAIL: {model} logits differ between .adm load and in-memory build");
+            failed = true;
+        } else {
+            println!("{model}: {PROBES} sequential requests bit-exact vs in-memory build");
+        }
+        dtypes.push(DtypeRow {
+            dtype: if model.ends_with("int8") { "int8" } else { "fp32" },
+            file_bytes: file_bytes(file),
+            bit_exact,
+        });
+    }
+
+    file_registry.drain();
+    memory_registry.drain();
+    if own_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    write_results(&AdmReport {
+        convert_ms,
+        cold_start_file_ms,
+        cold_start_scratch_ms,
+        cold_start_speedup,
+        dtypes,
+        passed: !failed,
+    });
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("RESULT: PASS");
+        ExitCode::SUCCESS
+    }
+}
+
+fn spec_of(name: &str, artifact: &ModelArtifact) -> ModelSpec {
+    let quant = match artifact.dtype() {
+        ModelDtype::F32 => QuantMode::Off,
+        ModelDtype::Int8 => QuantMode::Int8,
+    };
+    let artifact = Arc::new(artifact.clone());
+    let factory: ModelFactory = Arc::new(move |_| artifact.build_network());
+    ModelSpec {
+        name: name.to_string(),
+        config: serve_config(quant),
+        factory,
+        source: ModelSource::Built,
+    }
+}

@@ -34,7 +34,7 @@ use antidote_core::quant::{calibrate, CalibrationMethod};
 use antidote_core::PruneSchedule;
 use antidote_data::Split;
 use antidote_http::{
-    HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSpec, RateConfig,
+    HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSource, ModelSpec, RateConfig,
 };
 use antidote_models::{QuantizedVgg, Vgg, VggConfig};
 use antidote_serve::{ModelFactory, Priority, QuantMode, ServeConfig};
@@ -89,11 +89,13 @@ fn registry(seed: u64) -> ModelRegistry {
             name: "vgg-fp32".to_string(),
             config: ServeConfig { quant: QuantMode::Off, ..config() },
             factory: fp32,
+            source: ModelSource::Built,
         },
         ModelSpec {
             name: "vgg-int8".to_string(),
             config: ServeConfig { quant: QuantMode::Int8, ..config() },
             factory: int8,
+            source: ModelSource::Built,
         },
     ])
     .expect("registry start")

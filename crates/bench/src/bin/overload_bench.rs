@@ -235,22 +235,13 @@ struct OverloadReport {
     chaos_metrics: ServeMetrics,
 }
 
-/// Atomic best-effort write (temporary sibling + rename), mirroring
-/// `antidote_bench::write_report` so a crash never truncates a report.
-fn write_atomic(dir: &std::path::Path, name: &str, contents: &str) {
-    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, contents).is_ok() {
-        let _ = std::fs::rename(&tmp, dir.join(name));
-    }
-}
-
 fn write_results(report: &OverloadReport) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let json = serde_json::to_string_pretty(report).expect("report serialization cannot fail");
-    write_atomic(&dir, "overload.json", &json);
+    antidote_bench::atomic_write(&dir, "overload.json", &json);
 
     let mut txt = String::new();
     txt.push_str(&format!(
@@ -297,7 +288,7 @@ fn write_results(report: &OverloadReport) {
             g.detail
         ));
     }
-    write_atomic(&dir, "overload.txt", &txt);
+    antidote_bench::atomic_write(&dir, "overload.txt", &txt);
     println!("\n{txt}");
 }
 

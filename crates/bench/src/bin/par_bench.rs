@@ -124,15 +124,6 @@ struct ParReport {
     passed: bool,
 }
 
-/// Atomic best-effort write (temporary sibling + rename), mirroring
-/// `antidote_bench::write_report` so a crash never truncates a report.
-fn write_atomic(dir: &std::path::Path, name: &str, contents: &str) {
-    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, contents).is_ok() {
-        let _ = std::fs::rename(&tmp, dir.join(name));
-    }
-}
-
 fn write_results(report: &ParReport) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_err() {
@@ -167,8 +158,8 @@ fn write_results(report: &ParReport) {
         if report.parity_ok { "OK (bit-exact across budgets)" } else { "FAIL" },
         if report.passed { "PASS" } else { "FAIL" }
     ));
-    write_atomic(&dir, "par.txt", &txt);
-    write_atomic(
+    antidote_bench::atomic_write(&dir, "par.txt", &txt);
+    antidote_bench::atomic_write(
         &dir,
         "par.json",
         &serde_json::to_string_pretty(report).unwrap_or_default(),

@@ -346,15 +346,6 @@ fn gemm_gate(failed: &mut bool) -> GemmResult {
     }
 }
 
-/// Atomic best-effort write (temporary sibling + rename), mirroring
-/// `antidote_bench::write_report` so a crash never truncates a report.
-fn write_atomic(dir: &std::path::Path, name: &str, contents: &str) {
-    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, contents).is_ok() {
-        let _ = std::fs::rename(&tmp, dir.join(name));
-    }
-}
-
 fn write_results(schedules: Vec<ScheduleResult>, gemm: GemmResult, failed: bool) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_err() {
@@ -403,7 +394,7 @@ fn write_results(schedules: Vec<ScheduleResult>, gemm: GemmResult, failed: bool)
         ));
     }
     txt.push_str(if failed { "\nRESULT: FAIL\n" } else { "\nRESULT: PASS\n" });
-    write_atomic(&dir, "quant.txt", &txt);
+    antidote_bench::atomic_write(&dir, "quant.txt", &txt);
 
     let report = QuantReport {
         acc_tol_pts: ACC_TOL_PTS,
@@ -412,7 +403,7 @@ fn write_results(schedules: Vec<ScheduleResult>, gemm: GemmResult, failed: bool)
         gemm,
         passed: !failed,
     };
-    write_atomic(
+    antidote_bench::atomic_write(
         &dir,
         "quant.json",
         &serde_json::to_string_pretty(&report).unwrap_or_default(),

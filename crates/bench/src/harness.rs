@@ -411,20 +411,24 @@ pub fn run_table1_workload(
     Ok(WorkloadResult { rows, notes })
 }
 
+/// Best-effort atomic file write (temporary sibling + rename), so a
+/// crash mid-write never leaves a truncated artifact at `dir/name`. The
+/// single implementation behind every bench binary's results writer —
+/// printing remains the primary output, so failures are swallowed.
+pub fn atomic_write(dir: &std::path::Path, name: &str, contents: &str) {
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, dir.join(name)).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
 /// Writes an experiment report to `results/<name>.json` under the
-/// workspace root (best effort — printing is the primary output).
-///
-/// The file is written atomically (temporary sibling + rename) so a
-/// crash mid-write never leaves a truncated report at the final path.
+/// workspace root (best effort — printing is the primary output),
+/// atomically via [`atomic_write`].
 pub fn write_report(report: &antidote_core::report::ExperimentReport, name: &str) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        let tmp = dir.join(format!(".{name}.json.tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, report.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_err()
-        {
-            let _ = std::fs::remove_file(&tmp);
-        }
+        atomic_write(&dir, &format!("{name}.json"), &report.to_json());
     }
 }
 

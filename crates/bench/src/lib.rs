@@ -31,7 +31,7 @@ pub mod trace;
 mod workloads;
 
 pub use harness::{
-    evaluate_measured_timed, restore_params, run_table1_workload, snapshot_params,
+    atomic_write, evaluate_measured_timed, restore_params, run_table1_workload, snapshot_params,
     static_schedule_for, write_report, MeasuredEval, WorkloadError, WorkloadResult,
     WorkloadRunOptions,
 };

@@ -25,7 +25,7 @@
 //! input.
 
 use crate::recovery::TrainState;
-use antidote_models::Network;
+use antidote_models::{Network, VggConfig};
 use antidote_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -54,6 +54,14 @@ pub struct Checkpoint {
     /// checkpoints).
     #[serde(default)]
     pub train_state: Option<TrainState>,
+    /// Generating [`VggConfig`] when the captured network was a VGG
+    /// (`None` for other architectures and for files written before the
+    /// field existed). The model-file converter needs it to rebuild the
+    /// network structurally; `architecture` is a human-readable string,
+    /// not a constructor input. Decodes as `None` when the field is
+    /// absent, so pre-existing v2 files keep loading.
+    #[serde(default)]
+    pub vgg_config: Option<VggConfig>,
 }
 
 /// Error raised when loading a checkpoint, or restoring one into an
@@ -237,12 +245,20 @@ impl Checkpoint {
             params,
             checksum,
             train_state: None,
+            vgg_config: None,
         }
     }
 
     /// Attaches resumable training state.
     pub fn with_train_state(mut self, state: TrainState) -> Self {
         self.train_state = Some(state);
+        self
+    }
+
+    /// Attaches the generating VGG configuration, making the checkpoint
+    /// self-describing for model-file conversion.
+    pub fn with_vgg_config(mut self, config: VggConfig) -> Self {
+        self.vgg_config = Some(config);
         self
     }
 
@@ -406,6 +422,27 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, ckpt);
         assert_eq!(loaded.version, CHECKPOINT_VERSION);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn vgg_config_round_trips_and_defaults_to_none() {
+        let mut rng = SmallRng::seed_from_u64(90);
+        let cfg = VggConfig::vgg_tiny(8, 2);
+        let mut net = Vgg::new(&mut rng, cfg.clone());
+        let ckpt = Checkpoint::capture(net.as_mut_network()).with_vgg_config(cfg.clone());
+        let path = temp_path("vgg_config");
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().vgg_config, Some(cfg));
+        // Files written without the field (all pre-existing v2
+        // checkpoints) must still load, decoding as `None`.
+        let bare = Checkpoint::capture(net.as_mut_network());
+        bare.save(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let legacy = json.replace(",\"vgg_config\":null", "");
+        assert_ne!(json, legacy, "test must actually strip the field");
+        std::fs::write(&path, legacy).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().vgg_config, None);
         let _ = std::fs::remove_file(path);
     }
 

@@ -35,20 +35,23 @@
 //! # Quickstart
 //!
 //! ```no_run
-//! use antidote_http::{HttpConfig, HttpServer, ModelRegistry, ModelSpec};
+//! use antidote_http::{HttpConfig, HttpServer, ModelRegistry, ModelSource, ModelSpec};
 //! use antidote_models::{Vgg, VggConfig};
 //! use antidote_serve::ServeConfig;
 //! use std::sync::Arc;
 //!
-//! let registry = ModelRegistry::start(vec![ModelSpec {
+//! let mut specs = vec![ModelSpec {
 //!     name: "vgg-tiny-fp32".into(),
 //!     config: ServeConfig::from_env(),
 //!     factory: Arc::new(|_| {
 //!         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
 //!         Box::new(Vgg::new(&mut rng, VggConfig::vgg_tiny(32, 4)))
 //!     }),
-//! }])
-//! .expect("registry");
+//!     source: ModelSource::Built,
+//! }];
+//! // Cold-start any `.adm` artifacts under `ANTIDOTE_HTTP_MODEL_DIR`.
+//! specs.extend(ModelRegistry::specs_from_env().expect("model dir"));
+//! let registry = ModelRegistry::start(specs).expect("registry");
 //! let server = HttpServer::start(HttpConfig::from_env(), registry).expect("bind");
 //! println!("listening on {}", server.local_addr());
 //! // ... serve traffic ...
@@ -68,5 +71,7 @@ pub mod server;
 
 pub use api::{serve_error_body, serve_error_status, ErrorBody, InferApiRequest, InferApiResponse};
 pub use ratelimit::{RateConfig, RateLimiter};
-pub use registry::{ModelEntry, ModelRegistry, ModelSpec, RegistryError};
+pub use registry::{
+    ModelEntry, ModelRegistry, ModelSource, ModelSpec, RegistryError, MODEL_DIR_ENV,
+};
 pub use server::{HttpConfig, HttpMetrics, HttpServer};

@@ -9,14 +9,42 @@
 //! side by side behind one listener. The first registered entry is the
 //! default route for requests that omit `model`.
 
+use antidote_modelfile::{ModelArtifact, ModelDtype};
 use antidote_serve::{
     ModelFactory, QuantMode, ServeConfig, ServeConfigError, ServeEngine, ServeHandle,
     ServeMetrics,
 };
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Environment knob naming a directory of `.adm` artifacts to register
+/// at startup (see [`ModelRegistry::specs_from_env`]).
+pub const MODEL_DIR_ENV: &str = "ANTIDOTE_HTTP_MODEL_DIR";
+
+/// Where a registered variant's replicas come from. Surfaces in the
+/// `model_not_found` 404 body and the `http.model_registered` event so
+/// operators can tell a baked-in model from one cold-started off disk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ModelSource {
+    /// Replicas built in process by application code.
+    #[default]
+    Built,
+    /// Replicas cold-started from a single-file `.adm` artifact.
+    File(PathBuf),
+}
+
+impl std::fmt::Display for ModelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelSource::Built => f.write_str("built"),
+            ModelSource::File(path) => write!(f, "file:{}", path.display()),
+        }
+    }
+}
 
 /// One variant to register: a unique name, the engine configuration it
-/// serves under (schedule, workers, queue, quant mode), and the replica
-/// factory.
+/// serves under (schedule, workers, queue, quant mode), the replica
+/// factory, and where the replicas come from.
 pub struct ModelSpec {
     /// Unique registry name, e.g. `vgg-tiny-fp32`.
     pub name: String,
@@ -25,6 +53,9 @@ pub struct ModelSpec {
     /// Replica factory (must build identical replicas; see
     /// [`ModelFactory`]).
     pub factory: ModelFactory,
+    /// Replica provenance ([`ModelSource::Built`] for in-process
+    /// factories, [`ModelSource::File`] for `.adm` artifacts).
+    pub source: ModelSource,
 }
 
 impl std::fmt::Debug for ModelSpec {
@@ -32,6 +63,7 @@ impl std::fmt::Debug for ModelSpec {
         f.debug_struct("ModelSpec")
             .field("name", &self.name)
             .field("quant", &self.config.quant)
+            .field("source", &self.source)
             .finish()
     }
 }
@@ -40,6 +72,7 @@ impl std::fmt::Debug for ModelSpec {
 pub struct ModelEntry {
     name: String,
     quant: QuantMode,
+    source: ModelSource,
     handle: ServeHandle,
     engine: ServeEngine,
 }
@@ -53,6 +86,25 @@ impl ModelEntry {
     /// Numeric domain of this variant's replicas.
     pub fn quant(&self) -> QuantMode {
         self.quant
+    }
+
+    /// Where this variant's replicas come from.
+    pub fn source(&self) -> &ModelSource {
+        &self.source
+    }
+
+    /// The variant's dtype as clients see it (`fp32` / `int8`).
+    pub fn dtype_label(&self) -> &'static str {
+        match self.quant {
+            QuantMode::Off => "fp32",
+            QuantMode::Int8 => "int8",
+        }
+    }
+
+    /// One-line description for error bodies and listings:
+    /// `name (dtype, source)`.
+    pub fn describe(&self) -> String {
+        format!("{} ({}, {})", self.name, self.dtype_label(), self.source)
     }
 
     /// Cloneable client handle into this variant's engine.
@@ -71,6 +123,7 @@ impl std::fmt::Debug for ModelEntry {
         f.debug_struct("ModelEntry")
             .field("name", &self.name)
             .field("quant", &self.quant)
+            .field("source", &self.source)
             .finish()
     }
 }
@@ -89,6 +142,14 @@ pub enum RegistryError {
         /// The underlying configuration error.
         error: ServeConfigError,
     },
+    /// A model directory or `.adm` artifact could not be loaded.
+    Artifact {
+        /// Path of the offending directory or file.
+        path: String,
+        /// The rendered [`antidote_modelfile::ModelFileError`] (or I/O
+        /// error for an unreadable directory).
+        error: String,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -100,6 +161,9 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::Engine { model, error } => {
                 write!(f, "model `{model}`: {error}")
+            }
+            RegistryError::Artifact { path, error } => {
+                write!(f, "model artifact `{path}`: {error}")
             }
         }
     }
@@ -152,18 +216,21 @@ impl ModelRegistry {
             };
             if antidote_obs::enabled() {
                 let quant_label = quant.to_string();
+                let source_label = spec.source.to_string();
                 antidote_obs::event(
                     antidote_obs::Level::Info,
                     "http.model_registered",
                     &[
                         ("model", antidote_obs::Value::Str(&spec.name)),
                         ("quant", antidote_obs::Value::Str(&quant_label)),
+                        ("source", antidote_obs::Value::Str(&source_label)),
                     ],
                 );
             }
             entries.push(ModelEntry {
                 name: spec.name,
                 quant,
+                source: spec.source,
                 handle: engine.handle(),
                 engine,
             });
@@ -189,6 +256,85 @@ impl ModelRegistry {
     /// Registered names, in registration order.
     pub fn names(&self) -> Vec<String> {
         self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Registered variants as `name (dtype, source)` lines, in
+    /// registration order — what the `model_not_found` 404 body lists
+    /// so a client picking the wrong route learns both the numeric
+    /// domain and the provenance of every alternative.
+    pub fn names_detailed(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.describe()).collect()
+    }
+
+    /// Builds one spec per `.adm` artifact in `dir`, sorted by file
+    /// name for a stable registration order. The registry name is the
+    /// file stem (`models/vgg-int8.adm` registers as `vgg-int8`); the
+    /// engine config is [`ServeConfig::from_env`] with `quant` forced
+    /// to the artifact's dtype so metrics and traces report the true
+    /// numeric domain. Each artifact is fully validated (checksums and
+    /// all) at this point — a corrupt file refuses to register instead
+    /// of serving garbled weights.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Artifact`] for an unreadable directory or any
+    /// artifact that fails to load.
+    pub fn specs_from_dir(dir: impl AsRef<Path>) -> Result<Vec<ModelSpec>, RegistryError> {
+        let dir = dir.as_ref();
+        let listing = std::fs::read_dir(dir).map_err(|e| RegistryError::Artifact {
+            path: dir.display().to_string(),
+            error: e.to_string(),
+        })?;
+        let mut paths: Vec<PathBuf> = listing
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "adm"))
+            .collect();
+        paths.sort();
+
+        let mut specs = Vec::with_capacity(paths.len());
+        for path in paths {
+            let artifact = ModelArtifact::load(&path).map_err(|e| RegistryError::Artifact {
+                path: path.display().to_string(),
+                error: e.to_string(),
+            })?;
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("model")
+                .to_string();
+            let mut config = ServeConfig::from_env();
+            config.quant = match artifact.dtype() {
+                ModelDtype::F32 => QuantMode::Off,
+                ModelDtype::Int8 => QuantMode::Int8,
+            };
+            let artifact = Arc::new(artifact);
+            let factory: ModelFactory = Arc::new(move |_worker| artifact.build_network());
+            specs.push(ModelSpec {
+                name,
+                config,
+                factory,
+                source: ModelSource::File(path),
+            });
+        }
+        Ok(specs)
+    }
+
+    /// Specs from the directory named by `ANTIDOTE_HTTP_MODEL_DIR`
+    /// ([`MODEL_DIR_ENV`]), or an empty list when the knob is unset or
+    /// empty — front-ends call this unconditionally and append the
+    /// result to their built-in specs.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Artifact`] as for
+    /// [`ModelRegistry::specs_from_dir`]; a *set* knob pointing at a
+    /// bad directory is a startup error, not a warn-and-ignore.
+    pub fn specs_from_env() -> Result<Vec<ModelSpec>, RegistryError> {
+        match std::env::var(MODEL_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => Self::specs_from_dir(dir),
+            _ => Ok(Vec::new()),
+        }
     }
 
     /// All entries, registration order.
@@ -240,6 +386,7 @@ mod tests {
                 ..ServeConfig::default()
             },
             factory: tiny_factory(seed),
+            source: ModelSource::Built,
         }
     }
 
@@ -260,6 +407,7 @@ mod tests {
                 ..ServeConfig::default()
             },
             factory: tiny_factory(1),
+            source: ModelSource::Built,
         };
         match ModelRegistry::start(vec![bad]) {
             Err(RegistryError::Engine { model, .. }) => assert_eq!(model, "zero-workers"),
@@ -292,5 +440,65 @@ mod tests {
         assert_eq!(m[1].1.completed, 1);
         let drained = registry.drain();
         assert_eq!(drained[1].1.completed, 1);
+    }
+
+    #[test]
+    fn detailed_names_carry_dtype_and_source() {
+        let registry = ModelRegistry::start(vec![spec("tiny", 1)]).unwrap();
+        assert_eq!(registry.names_detailed(), vec!["tiny (fp32, built)"]);
+        assert_eq!(registry.entries()[0].source(), &ModelSource::Built);
+        registry.drain();
+    }
+
+    #[test]
+    fn specs_from_dir_cold_starts_adm_artifacts() {
+        use antidote_core::checkpoint::Checkpoint;
+        use antidote_modelfile::ModelArtifact;
+
+        let dir = std::env::temp_dir().join(format!("adm_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = VggConfig::vgg_tiny(8, 3);
+        let mut net = Vgg::new(&mut SmallRng::seed_from_u64(3), config.clone());
+        let ckpt = Checkpoint::capture(&mut net).with_vgg_config(config);
+        ModelArtifact::from_checkpoint(&ckpt, None)
+            .unwrap()
+            .save(dir.join("tiny-fp32.adm"))
+            .unwrap();
+        // Non-.adm files in the directory are ignored.
+        std::fs::write(dir.join("README.txt"), "not a model").unwrap();
+
+        let specs = ModelRegistry::specs_from_dir(&dir).unwrap();
+        assert_eq!(specs.len(), 1);
+        let registry = ModelRegistry::start(specs).unwrap();
+        assert_eq!(registry.names(), vec!["tiny-fp32"]);
+        let detailed = &registry.names_detailed()[0];
+        assert!(
+            detailed.starts_with("tiny-fp32 (fp32, file:"),
+            "{detailed}"
+        );
+
+        // The cold-started model actually serves.
+        let r = registry
+            .default_model()
+            .handle()
+            .submit(InferRequest::new(Tensor::zeros([3, 8, 8])))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.batch_size, 1);
+        registry.drain();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_refuses_to_register() {
+        let dir = std::env::temp_dir().join(format!("adm_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.adm"), b"JSON not a model").unwrap();
+        match ModelRegistry::specs_from_dir(&dir) {
+            Err(RegistryError::Artifact { path, .. }) => assert!(path.ends_with("bad.adm")),
+            other => panic!("expected Artifact error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -622,7 +622,7 @@ fn infer(shared: &Shared, peer_ip: IpAddr, request: &http1::Request) -> Routed {
                 "model_not_found",
                 format!("no model named `{}`", api.model.as_deref().unwrap_or("")),
             );
-            eb.models = Some(shared.registry.names());
+            eb.models = Some(shared.registry.names_detailed());
             eb.trace_id = trace_hex();
             record_rejection(
                 trace,

@@ -8,7 +8,8 @@ use antidote_core::quant::{calibrate, CalibrationMethod};
 use antidote_core::PruneSchedule;
 use antidote_data::Split;
 use antidote_http::{
-    ErrorBody, HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSpec, RateConfig,
+    ErrorBody, HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSource, ModelSpec,
+    RateConfig,
 };
 use antidote_models::{QuantizedVgg, Vgg, VggConfig};
 use antidote_serve::{ModelFactory, QuantMode, ServeConfig};
@@ -61,11 +62,13 @@ fn twin_registry(seed: u64) -> ModelRegistry {
             name: "fp32".to_string(),
             config: ServeConfig { quant: QuantMode::Off, ..serve_config() },
             factory: fp32,
+            source: ModelSource::Built,
         },
         ModelSpec {
             name: "int8".to_string(),
             config: ServeConfig { quant: QuantMode::Int8, ..serve_config() },
             factory: int8,
+            source: ModelSource::Built,
         },
     ])
     .expect("registry start")
@@ -168,7 +171,7 @@ fn concurrent_clients_get_budgeted_typed_responses_and_clean_drain() {
                     let mut out = Vec::new();
                     for r in 0..PER_CLIENT {
                         let i = c * PER_CLIENT + r;
-                        let model = if i % 2 == 0 { "fp32" } else { "int8" };
+                        let model = if i.is_multiple_of(2) { "fp32" } else { "int8" };
                         let budget_frac = match i % 3 {
                             0 => None,
                             1 => Some(0.5),
@@ -262,8 +265,10 @@ fn unknown_model_is_a_typed_404_listing_the_registry() {
     let err: ErrorBody = serde_json::from_str(&resp).expect("error body");
     assert_eq!(err.error, "model_not_found");
     let models = err.models.expect("registry names listed");
-    assert!(models.contains(&"fp32".to_string()));
-    assert!(models.contains(&"int8".to_string()));
+    // Entries are detailed `name (dtype, source)` lines so a client
+    // picking the wrong route learns what each alternative actually is.
+    assert!(models.contains(&"fp32 (fp32, built)".to_string()), "{models:?}");
+    assert!(models.contains(&"int8 (int8, built)".to_string()), "{models:?}");
     server.shutdown();
 }
 

@@ -6,7 +6,7 @@
 //! queue.
 
 use antidote_http::{
-    ErrorBody, HttpConfig, HttpServer, ModelRegistry, ModelSpec, RateConfig,
+    ErrorBody, HttpConfig, HttpServer, ModelRegistry, ModelSource, ModelSpec, RateConfig,
 };
 use antidote_models::{Vgg, VggConfig};
 use antidote_serve::{ModelFactory, ServeConfig};
@@ -28,6 +28,7 @@ fn start_server() -> HttpServer {
         name: "only".to_string(),
         config: ServeConfig { workers: 1, ..ServeConfig::default() },
         factory,
+        source: ModelSource::Built,
     }])
     .expect("registry");
     let config = HttpConfig {

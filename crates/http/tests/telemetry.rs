@@ -5,7 +5,7 @@
 //! clients mutate every counter behind it.
 
 use antidote_core::PruneSchedule;
-use antidote_http::{HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSpec};
+use antidote_http::{HttpConfig, HttpServer, InferApiResponse, ModelRegistry, ModelSource, ModelSpec};
 use antidote_models::{Vgg, VggConfig};
 use antidote_serve::{ModelFactory, ServeConfig};
 use rand::rngs::SmallRng;
@@ -42,6 +42,7 @@ fn start_server() -> HttpServer {
             ..ServeConfig::default()
         },
         factory,
+        source: ModelSource::Built,
     }])
     .expect("registry start");
     HttpServer::start(

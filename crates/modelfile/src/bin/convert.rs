@@ -1,0 +1,173 @@
+//! `convert` — v2 checkpoint → single-file `.adm` model artifact.
+//!
+//! ```text
+//! convert --checkpoint trained.json --out model.adm
+//! convert --checkpoint trained.json --out model-int8.adm \
+//!         --quantize int8 --calibrate percentile:99.9
+//! ```
+//!
+//! The architecture comes from the checkpoint's embedded `VggConfig`
+//! (checkpoints captured with `Checkpoint::with_vgg_config`); older
+//! checkpoints need `--config cfg.json` pointing at a serialized
+//! `VggConfig`. With `--quantize int8` the fp32 weights are calibrated
+//! on synthetic held-out batches and quantized in the same pass
+//! (`antidote_core::quant::calibrate`), so training machines can ship
+//! deployment-ready int8 artifacts directly.
+//!
+//! Exit codes: 0 success, 2 bad usage, 1 conversion failure.
+
+use antidote_core::checkpoint::Checkpoint;
+use antidote_core::quant::CalibrationMethod;
+use antidote_modelfile::ModelArtifact;
+use antidote_models::VggConfig;
+
+struct Args {
+    checkpoint: String,
+    out: String,
+    config: Option<String>,
+    quantize_int8: bool,
+    calibrate: CalibrationMethod,
+    calib_batches: usize,
+    calib_batch_size: usize,
+    calib_seed: u64,
+}
+
+const USAGE: &str = "usage: convert --checkpoint <ckpt.json> --out <model.adm> \
+[--config <vgg-config.json>] [--quantize int8] [--calibrate minmax|percentile:<pct>] \
+[--calib-batches N] [--calib-batch-size N] [--calib-seed S]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut checkpoint = None;
+    let mut out = None;
+    let mut config = None;
+    let mut quantize_int8 = false;
+    let mut calibrate = CalibrationMethod::MinMax;
+    let mut calib_batches = 4usize;
+    let mut calib_batch_size = 16usize;
+    let mut calib_seed = 0u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--out" => out = Some(value("--out")?),
+            "--config" => config = Some(value("--config")?),
+            "--quantize" => {
+                let v = value("--quantize")?;
+                if v != "int8" {
+                    return Err(format!("--quantize supports only int8, got {v:?}"));
+                }
+                quantize_int8 = true;
+            }
+            "--calibrate" => {
+                let v = value("--calibrate")?;
+                calibrate = if v == "minmax" {
+                    CalibrationMethod::MinMax
+                } else if let Some(pct) = v.strip_prefix("percentile:") {
+                    let pct: f64 = pct
+                        .parse()
+                        .map_err(|_| format!("bad percentile {pct:?}"))?;
+                    if !(0.0..=100.0).contains(&pct) {
+                        return Err(format!("percentile {pct} outside 0..=100"));
+                    }
+                    CalibrationMethod::Percentile(pct)
+                } else {
+                    return Err(format!(
+                        "--calibrate takes minmax or percentile:<pct>, got {v:?}"
+                    ));
+                };
+            }
+            "--calib-batches" => {
+                calib_batches = value("--calib-batches")?
+                    .parse()
+                    .map_err(|_| "--calib-batches needs a positive integer".to_string())?;
+            }
+            "--calib-batch-size" => {
+                calib_batch_size = value("--calib-batch-size")?
+                    .parse()
+                    .map_err(|_| "--calib-batch-size needs a positive integer".to_string())?;
+            }
+            "--calib-seed" => {
+                calib_seed = value("--calib-seed")?
+                    .parse()
+                    .map_err(|_| "--calib-seed needs an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if calib_batches == 0 || calib_batch_size == 0 {
+        return Err("calibration batches and batch size must be positive".to_string());
+    }
+    Ok(Args {
+        checkpoint: checkpoint.ok_or_else(|| format!("--checkpoint is required\n{USAGE}"))?,
+        out: out.ok_or_else(|| format!("--out is required\n{USAGE}"))?,
+        config,
+        quantize_int8,
+        calibrate,
+        calib_batches,
+        calib_batch_size,
+        calib_seed,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let ckpt = Checkpoint::load(&args.checkpoint)
+        .map_err(|e| format!("cannot load checkpoint {}: {e}", args.checkpoint))?;
+    let config: Option<VggConfig> = match &args.config {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config {path}: {e}"))?;
+            Some(
+                serde_json::from_str(&json)
+                    .map_err(|e| format!("config {path} is not a VggConfig: {e}"))?,
+            )
+        }
+        None => None,
+    };
+
+    let mut artifact =
+        ModelArtifact::from_checkpoint(&ckpt, config).map_err(|e| e.to_string())?;
+    if args.quantize_int8 {
+        artifact = artifact
+            .quantize(
+                args.calibrate,
+                args.calib_batch_size,
+                args.calib_batches,
+                args.calib_seed,
+            )
+            .map_err(|e| format!("quantization failed: {e}"))?;
+    }
+    artifact.save(&args.out).map_err(|e| e.to_string())?;
+
+    let bytes = std::fs::metadata(&args.out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({} dtype, {bytes} bytes) from {}",
+        args.out,
+        artifact.dtype(),
+        args.checkpoint
+    );
+    Ok(())
+}
+
+fn main() {
+    antidote_obs::init_from_env();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = run(&args) {
+        eprintln!("convert: {msg}");
+        std::process::exit(1);
+    }
+}

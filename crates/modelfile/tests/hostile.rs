@@ -1,0 +1,228 @@
+//! Hostile-file corpus: every malformed `.adm` image must come back as
+//! a typed [`ModelFileError`] — never a panic, never a silently garbled
+//! model. Each case starts from a valid image and corrupts one field at
+//! a byte offset pinned by the `docs/FORMAT.md` layout.
+
+use antidote_modelfile::{
+    Container, ContainerBuilder, KvValue, ModelArtifact, ModelFileError, HEADER_LEN,
+};
+
+/// A valid image with no KVs and one f32 tensor named `w` (dims `[2,
+/// 3]`). With a 1-byte name the index layout after the 32-byte header
+/// is fixed, so corruption offsets below are exact:
+///
+/// ```text
+/// 32  name_len u32     36  name "w"        37  dtype u8
+/// 38  rank u8          39  dims 2×u64      55  offset u64
+/// 63  nbytes u64       71  checksum u64
+/// ```
+fn one_tensor_image() -> Vec<u8> {
+    let mut b = ContainerBuilder::new();
+    b.tensor_f32("w", &[2, 3], &[1.0, -2.0, 3.5, 0.0, 5.25, -6.125]);
+    b.to_bytes()
+}
+
+const DTYPE_AT: usize = 37;
+const RANK_AT: usize = 38;
+const OFFSET_AT: usize = 55;
+
+#[test]
+fn truncated_header_is_typed() {
+    let image = one_tensor_image();
+    for len in 0..HEADER_LEN {
+        match Container::from_bytes(image[..len].to_vec()) {
+            Err(ModelFileError::Truncated { .. }) => {}
+            // Prefixes ≥ 4 bytes carry the real magic; shorter ones
+            // still fail on the magic read itself.
+            other => panic!("prefix of {len} bytes: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut image = one_tensor_image();
+    image[..4].copy_from_slice(b"JSON");
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::BadMagic { found }) if found == *b"JSON"
+    ));
+}
+
+#[test]
+fn wrong_version_is_typed() {
+    let mut image = one_tensor_image();
+    image[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::VersionMismatch {
+            found: 99,
+            expected: 1
+        })
+    ));
+}
+
+#[test]
+fn wrong_alignment_is_typed() {
+    let mut image = one_tensor_image();
+    image[8..12].copy_from_slice(&8u32.to_le_bytes());
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::BadAlignment {
+            declared: 8,
+            expected: 64
+        })
+    ));
+}
+
+#[test]
+fn misaligned_tensor_offset_is_typed() {
+    let mut image = one_tensor_image();
+    image[OFFSET_AT..OFFSET_AT + 8].copy_from_slice(&1u64.to_le_bytes());
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::MisalignedOffset { offset: 1, .. })
+    ));
+}
+
+#[test]
+fn flipped_payload_byte_fails_checksum() {
+    let mut image = one_tensor_image();
+    let last = image.len() - 1;
+    image[last] ^= 0xff;
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn flipped_stored_checksum_fails_checksum() {
+    let mut image = one_tensor_image();
+    image[71] ^= 0xff;
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn unknown_dtype_tag_is_typed() {
+    let mut image = one_tensor_image();
+    image[DTYPE_AT] = 7;
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::UnknownDtype { tag: 7, .. })
+    ));
+}
+
+#[test]
+fn zero_and_oversized_rank_are_typed() {
+    for rank in [0u8, 9u8] {
+        let mut image = one_tensor_image();
+        image[RANK_AT] = rank;
+        assert!(matches!(
+            Container::from_bytes(image),
+            Err(ModelFileError::Malformed(_))
+        ));
+    }
+}
+
+#[test]
+fn tensor_past_data_section_is_oversized() {
+    let mut image = one_tensor_image();
+    // Aligned (so it passes the alignment check) but far past the end.
+    image[OFFSET_AT..OFFSET_AT + 8].copy_from_slice(&(64u64 * 1000).to_le_bytes());
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn oversized_name_is_typed() {
+    let mut image = one_tensor_image();
+    image[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn unknown_kv_value_tag_is_typed() {
+    let mut b = ContainerBuilder::new();
+    b.kv("k", KvValue::Bool(true));
+    let mut image = b.to_bytes();
+    // KV section: key_len u32 at 32, "k" at 36, value tag at 37.
+    image[37] = 9;
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::UnknownKvTag { tag: 9, .. })
+    ));
+}
+
+#[test]
+fn truncated_data_section_is_typed() {
+    let mut image = one_tensor_image();
+    image.truncate(image.len() - 3);
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn nonzero_header_padding_is_rejected() {
+    let mut image = one_tensor_image();
+    // Byte 79 is inside the zero pad between the index (ends at 79) and
+    // the 128-aligned data section.
+    image[79] = 1;
+    assert!(matches!(
+        Container::from_bytes(image),
+        Err(ModelFileError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn every_single_byte_corruption_is_err_or_detected() {
+    // Sledgehammer: flip each byte of the image in turn. The parser
+    // must either reject the image with a typed error or — only where
+    // the flip lands in genuinely free bytes (none here: every byte of
+    // this image is load-bearing except the reserved header word) —
+    // return an equivalent container. It must never panic.
+    let image = one_tensor_image();
+    for i in 0..image.len() {
+        let mut corrupt = image.clone();
+        corrupt[i] ^= 0xff;
+        let result = Container::from_bytes(corrupt);
+        if (20..24).contains(&i) {
+            // The reserved header word is ignored by design.
+            assert!(result.is_ok(), "reserved byte {i} should be ignored");
+        } else {
+            assert!(result.is_err(), "flipping byte {i} went undetected");
+        }
+    }
+}
+
+#[test]
+fn valid_container_that_is_no_model_is_bad_model() {
+    let path = std::env::temp_dir().join(format!("adm_no_model_{}.adm", std::process::id()));
+    let mut b = ContainerBuilder::new();
+    b.kv("model.family", KvValue::Str("vgg".into()));
+    b.write(&path).unwrap();
+    assert!(matches!(
+        ModelArtifact::load(&path),
+        Err(ModelFileError::BadModel(_))
+    ));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_kv_keys_are_ignored_for_forward_compat() {
+    let mut b = ContainerBuilder::new();
+    b.kv("future.knob", KvValue::U64(3))
+        .tensor_f32("w", &[1], &[1.0]);
+    let c = Container::from_bytes(b.to_bytes()).unwrap();
+    assert_eq!(c.kv("future.knob"), Some(&KvValue::U64(3)));
+}

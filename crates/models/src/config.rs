@@ -100,6 +100,37 @@ impl VggConfig {
         self
     }
 
+    /// Checks the structural invariants [`crate::Vgg::new`] asserts
+    /// (non-empty blocks, positive widths, pooling divisibility) as a
+    /// `Result` — the entry point for configs decoded from untrusted
+    /// files, where a panic is not acceptable.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("config has no conv blocks".into());
+        }
+        if self.blocks.len() > 16 {
+            return Err(format!("{} conv blocks (max 16)", self.blocks.len()));
+        }
+        if self.blocks.iter().any(|b| b.layers == 0 || b.channels == 0) {
+            return Err("every block needs at least one layer and one channel".into());
+        }
+        if self.input_channels == 0 || self.classes == 0 {
+            return Err("input channels and classes must be positive".into());
+        }
+        if self.input_size == 0 || !self.input_size.is_multiple_of(1 << self.blocks.len()) {
+            return Err(format!(
+                "input size {} not divisible by 2^{} for pooling",
+                self.input_size,
+                self.blocks.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Total number of conv layers.
     pub fn conv_layer_count(&self) -> usize {
         self.blocks.iter().map(|b| b.layers).sum()
@@ -355,6 +386,27 @@ mod tests {
             (total as f64 - 1.52e10).abs() / 1.52e10 < 0.02,
             "VGG16 ImageNet MACs = {total}, expected ≈1.52e10"
         );
+    }
+
+    #[test]
+    fn validate_accepts_stock_configs_and_rejects_broken_ones() {
+        assert!(VggConfig::vgg16(32, 10).validate().is_ok());
+        assert!(VggConfig::vgg_tiny(8, 3).validate().is_ok());
+        let mut cfg = VggConfig::vgg_tiny(8, 3);
+        cfg.blocks.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = VggConfig::vgg_tiny(8, 3);
+        cfg.input_size = 7; // not divisible by 2^2
+        assert!(cfg.validate().is_err());
+        let mut cfg = VggConfig::vgg_tiny(8, 3);
+        cfg.input_size = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = VggConfig::vgg_tiny(8, 3);
+        cfg.blocks[0].channels = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = VggConfig::vgg_tiny(8, 3);
+        cfg.classes = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

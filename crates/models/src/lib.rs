@@ -39,7 +39,7 @@ mod vgg;
 
 pub use config::{ConvShape, ResNetConfig, VggBlock, VggConfig};
 pub use network::Network;
-pub use quantized::QuantizedVgg;
+pub use quantized::{BnParts, QuantizedConvParts, QuantizedVgg, QuantizedVggParts};
 pub use resnet::{ResNet, ShrunkResNet};
 pub use shrunk::ShrunkVgg;
 pub use tap::{masks_to_tensor, FeatureHook, NoopHook, TapId, TapInfo};

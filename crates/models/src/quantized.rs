@@ -25,12 +25,14 @@
 use crate::config::ConvShape;
 use crate::network::Network;
 use crate::profiled::profiled_quantized_conv;
-use crate::tap::{masks_to_tensor, FeatureHook, TapInfo};
+use crate::tap::{masks_to_tensor, FeatureHook, TapId, TapInfo};
 use crate::vgg::{pool_mask, Op, Vgg};
 use antidote_nn::layers::{BatchNorm2d, Flatten, Linear, MaxPool2d, Relu};
 use antidote_nn::masked::{FeatureMask, MacCounter};
 use antidote_nn::quant::QuantizedConv2d;
 use antidote_nn::{Layer, Mode, Parameter};
+use antidote_tensor::conv::ConvGeometry;
+use antidote_tensor::quant::QuantizedMatrix;
 use antidote_tensor::Tensor;
 
 /// One element of the quantized op sequence (eval-only, so taps carry
@@ -52,6 +54,50 @@ pub struct QuantizedVgg {
     config: crate::VggConfig,
     ops: Vec<QOp>,
     taps: Vec<TapInfo>,
+}
+
+/// One conv layer's stored parts: int8 weights with per-row scales,
+/// fp32 bias, and the calibrated input-activation scale.
+#[derive(Debug, Clone)]
+pub struct QuantizedConvParts {
+    /// `(Cout, Cin·K·K)` int8 filter matrix with per-row scales.
+    pub qweight: QuantizedMatrix,
+    /// Full-precision bias, length `Cout`.
+    pub bias: Vec<f32>,
+    /// Calibrated per-tensor scale of the layer's input activation.
+    pub act_scale: f32,
+}
+
+/// One batch norm's stored parts (all rank-1 of length `Cout`).
+#[derive(Debug, Clone)]
+pub struct BnParts {
+    /// Learned scale γ.
+    pub gamma: Tensor,
+    /// Learned shift β.
+    pub beta: Tensor,
+    /// Running activation mean.
+    pub running_mean: Tensor,
+    /// Running activation variance.
+    pub running_var: Tensor,
+}
+
+/// The weight-carrying parts of a [`QuantizedVgg`] in forward order,
+/// with the structural ops (ReLU, pooling, flatten, taps) omitted —
+/// [`QuantizedVgg::from_parts`] rebuilds those from the
+/// [`crate::VggConfig`]. This is the interchange type the model-file
+/// layer serializes: int8 weights travel as raw bytes plus scales and
+/// never round-trip through fp32.
+#[derive(Debug, Clone)]
+pub struct QuantizedVggParts {
+    /// Quantized convolutions in forward order.
+    pub convs: Vec<QuantizedConvParts>,
+    /// Batch norms in forward order (one per conv when the config
+    /// enables batch norm, empty otherwise).
+    pub bns: Vec<BnParts>,
+    /// Classifier weight, `(classes, classifier_inputs)`.
+    pub linear_weight: Tensor,
+    /// Classifier bias, `(classes,)`.
+    pub linear_bias: Tensor,
 }
 
 impl QuantizedVgg {
@@ -111,6 +157,196 @@ impl QuantizedVgg {
     /// The generating configuration.
     pub fn config(&self) -> &crate::VggConfig {
         &self.config
+    }
+
+    /// Exports the weight-carrying layers for serialization (the
+    /// inverse of [`QuantizedVgg::from_parts`]).
+    pub fn to_parts(&self) -> QuantizedVggParts {
+        let mut convs = Vec::new();
+        let mut bns = Vec::new();
+        let mut linear = None;
+        for op in &self.ops {
+            match op {
+                QOp::Conv(c) => convs.push(QuantizedConvParts {
+                    qweight: c.qweight().clone(),
+                    bias: c.bias().to_vec(),
+                    act_scale: c.act_scale(),
+                }),
+                QOp::Bn(bn) => bns.push(BnParts {
+                    gamma: bn.gamma().value.clone(),
+                    beta: bn.beta().value.clone(),
+                    running_mean: bn.running_mean().clone(),
+                    running_var: bn.running_var().clone(),
+                }),
+                QOp::Linear(fc) => {
+                    linear = Some((fc.weight().value.clone(), fc.bias().value.clone()))
+                }
+                _ => {}
+            }
+        }
+        let (linear_weight, linear_bias) = linear.expect("a QuantizedVgg always has a classifier");
+        QuantizedVggParts {
+            convs,
+            bns,
+            linear_weight,
+            linear_bias,
+        }
+    }
+
+    /// Rebuilds a quantized network from stored parts, validating every
+    /// dimension against `config` first — the model-file loader's
+    /// constructor, which must reject hostile input with an error
+    /// rather than a panic.
+    ///
+    /// Identical parts produce a network whose forward pass is
+    /// bit-identical to the exporting one: the int8 weights, scales and
+    /// fp32 tensors are used verbatim.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first inconsistency (config
+    /// invariant, layer count, tensor shape, non-finite value, or
+    /// non-positive activation scale).
+    pub fn from_parts(
+        config: crate::VggConfig,
+        parts: QuantizedVggParts,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let shapes = config.conv_shapes();
+        if parts.convs.len() != shapes.len() {
+            return Err(format!(
+                "{} conv layers stored but config declares {}",
+                parts.convs.len(),
+                shapes.len()
+            ));
+        }
+        let want_bns = if config.batchnorm { shapes.len() } else { 0 };
+        if parts.bns.len() != want_bns {
+            return Err(format!(
+                "{} batch norms stored but config needs {want_bns}",
+                parts.bns.len()
+            ));
+        }
+        let finite = |name: &str, data: &[f32]| -> Result<(), String> {
+            if data.iter().all(|v| v.is_finite()) {
+                Ok(())
+            } else {
+                Err(format!("{name} contains non-finite values"))
+            }
+        };
+        for (i, (cp, shape)) in parts.convs.iter().zip(&shapes).enumerate() {
+            let q = &cp.qweight;
+            let want_cols = shape.in_channels * shape.kernel * shape.kernel;
+            if q.rows != shape.out_channels || q.cols != want_cols {
+                return Err(format!(
+                    "conv {i} weight is {}x{} but config needs {}x{want_cols}",
+                    q.rows, q.cols, shape.out_channels
+                ));
+            }
+            let want_len = q
+                .rows
+                .checked_mul(q.cols)
+                .ok_or_else(|| format!("conv {i} weight size overflows"))?;
+            if q.data.len() != want_len {
+                return Err(format!("conv {i} weight holds {} bytes, needs {want_len}", q.data.len()));
+            }
+            if q.scales.len() != q.rows || cp.bias.len() != q.rows {
+                return Err(format!("conv {i} scales/bias length must equal {}", q.rows));
+            }
+            if !(cp.act_scale.is_finite() && cp.act_scale > 0.0) {
+                return Err(format!(
+                    "conv {i} activation scale {} must be positive and finite",
+                    cp.act_scale
+                ));
+            }
+            if q.scales.iter().any(|s| !s.is_finite() || *s < 0.0) {
+                return Err(format!("conv {i} weight scales must be finite and non-negative"));
+            }
+            finite(&format!("conv {i} bias"), &cp.bias)?;
+        }
+        for (i, (bn, shape)) in parts.bns.iter().zip(&shapes).enumerate() {
+            let want = [shape.out_channels];
+            for (name, t) in [
+                ("gamma", &bn.gamma),
+                ("beta", &bn.beta),
+                ("running_mean", &bn.running_mean),
+                ("running_var", &bn.running_var),
+            ] {
+                if t.dims() != want {
+                    return Err(format!(
+                        "bn {i} {name} has shape {:?}, needs {want:?}",
+                        t.dims()
+                    ));
+                }
+                finite(&format!("bn {i} {name}"), t.data())?;
+            }
+        }
+        let want_w = [config.classes, config.classifier_inputs()];
+        if parts.linear_weight.dims() != want_w {
+            return Err(format!(
+                "classifier weight has shape {:?}, needs {want_w:?}",
+                parts.linear_weight.dims()
+            ));
+        }
+        if parts.linear_bias.dims() != [config.classes] {
+            return Err(format!(
+                "classifier bias has shape {:?}, needs [{}]",
+                parts.linear_bias.dims(),
+                config.classes
+            ));
+        }
+        finite("classifier weight", parts.linear_weight.data())?;
+        finite("classifier bias", parts.linear_bias.data())?;
+
+        // Everything checked; rebuild the op sequence exactly as
+        // `Vgg::new` lays it out (conv, [bn], relu, tap per layer; pool
+        // per block; flatten + linear).
+        let mut ops = Vec::new();
+        let mut taps = Vec::new();
+        let mut convs = parts.convs.into_iter();
+        let mut bns = parts.bns.into_iter();
+        let mut shape_iter = shapes.iter();
+        let mut tap_idx = 0usize;
+        for (b, block) in config.blocks.iter().enumerate() {
+            let spatial = config.block_spatial(b);
+            for _ in 0..block.layers {
+                let cp = convs.next().expect("validated conv count");
+                let shape = shape_iter.next().expect("validated conv count");
+                ops.push(QOp::Conv(QuantizedConv2d::from_parts(
+                    cp.qweight,
+                    cp.bias,
+                    cp.act_scale,
+                    shape.in_channels,
+                    ConvGeometry::new(shape.kernel, 1, 1),
+                )));
+                if config.batchnorm {
+                    let bn = bns.next().expect("validated bn count");
+                    ops.push(QOp::Bn(BatchNorm2d::from_parts(
+                        bn.gamma,
+                        bn.beta,
+                        bn.running_mean,
+                        bn.running_var,
+                    )));
+                }
+                ops.push(QOp::Relu(Relu::new()));
+                let info = TapInfo {
+                    id: TapId(tap_idx),
+                    block: b,
+                    channels: block.channels,
+                    spatial,
+                };
+                taps.push(info);
+                ops.push(QOp::Tap(info));
+                tap_idx += 1;
+            }
+            ops.push(QOp::Pool(MaxPool2d::new(2)));
+        }
+        ops.push(QOp::Flatten(Flatten::new()));
+        ops.push(QOp::Linear(Linear::from_parts(
+            parts.linear_weight,
+            parts.linear_bias,
+        )));
+        Ok(Self { config, ops, taps })
     }
 }
 
@@ -335,6 +571,89 @@ mod tests {
         let (vgg, _) = trained_pair();
         let result = std::panic::catch_unwind(|| QuantizedVgg::from_vgg(&vgg, 0.01, &[0.05]));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_exact() {
+        let (_, mut q) = trained_pair();
+        let mut rebuilt =
+            QuantizedVgg::from_parts(q.config().clone(), q.to_parts()).expect("valid parts");
+        let x = Tensor::from_fn([2, 3, 8, 8], |i| ((i as f32 * 0.017).sin()) * 0.4);
+        let mut ca = MacCounter::new();
+        let ya = q.forward_measured(&x, &mut NoopHook, &mut ca);
+        let mut cb = MacCounter::new();
+        let yb = rebuilt.forward_measured(&x, &mut NoopHook, &mut cb);
+        assert_eq!(ca.total(), cb.total());
+        assert!(ya
+            .data()
+            .iter()
+            .zip(yb.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(q.taps().len(), rebuilt.taps().len());
+        assert_eq!(q.describe(), rebuilt.describe());
+    }
+
+    #[test]
+    fn parts_round_trip_with_batchnorm() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let vgg = Vgg::new(&mut rng, VggConfig::vgg_tiny(8, 3).with_batchnorm());
+        let scales = vec![0.05f32; vgg.taps.len()];
+        let mut q = QuantizedVgg::from_vgg(&vgg, 0.01, &scales);
+        let mut rebuilt =
+            QuantizedVgg::from_parts(q.config().clone(), q.to_parts()).expect("valid parts");
+        let x = Tensor::from_fn([1, 3, 8, 8], |i| ((i as f32 * 0.031).cos()) * 0.3);
+        let ya = q.forward(&x, Mode::Eval);
+        let yb = rebuilt.forward(&x, Mode::Eval);
+        assert!(ya
+            .data()
+            .iter()
+            .zip(yb.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_input_without_panicking() {
+        let (_, q) = trained_pair();
+        let cfg = q.config().clone();
+
+        // Wrong conv count.
+        let mut parts = q.to_parts();
+        parts.convs.pop();
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Wrong weight shape.
+        let mut parts = q.to_parts();
+        parts.convs[0].qweight.rows += 1;
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Truncated scales.
+        let mut parts = q.to_parts();
+        parts.convs[1].qweight.scales.pop();
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Bad activation scale.
+        let mut parts = q.to_parts();
+        parts.convs[0].act_scale = f32::NAN;
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Non-finite classifier weight.
+        let mut parts = q.to_parts();
+        parts.linear_weight.data_mut()[0] = f32::INFINITY;
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Wrong classifier bias shape.
+        let mut parts = q.to_parts();
+        parts.linear_bias = Tensor::zeros([cfg.classes + 1]);
+        assert!(QuantizedVgg::from_parts(cfg.clone(), parts).is_err());
+
+        // Missing batch norms for a batchnorm config.
+        let parts = q.to_parts();
+        assert!(QuantizedVgg::from_parts(cfg.with_batchnorm(), parts).is_err());
+
+        // Invalid config.
+        let mut cfg_bad = q.config().clone();
+        cfg_bad.input_size = 7;
+        assert!(QuantizedVgg::from_parts(cfg_bad, q.to_parts()).is_err());
     }
 
     #[test]

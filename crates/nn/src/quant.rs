@@ -72,6 +72,44 @@ impl QuantizedConv2d {
         }
     }
 
+    /// Reassembles a quantized convolution from stored parts — the
+    /// model-file loader's constructor, where the int8 weights come off
+    /// disk and never existed as fp32 in this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions or a non-positive/non-finite
+    /// `act_scale`. File loaders must validate before calling (see
+    /// `antidote_models::QuantizedVgg::from_parts`, which returns typed
+    /// errors); these asserts are a backstop, not an error surface.
+    pub fn from_parts(
+        qweight: QuantizedMatrix,
+        bias: Vec<f32>,
+        act_scale: f32,
+        in_channels: usize,
+        geom: ConvGeometry,
+    ) -> Self {
+        assert!(
+            act_scale.is_finite() && act_scale > 0.0,
+            "activation scale must be positive and finite, got {act_scale}"
+        );
+        assert_eq!(
+            qweight.cols,
+            in_channels * geom.kernel * geom.kernel,
+            "weight columns must be Cin·K·K"
+        );
+        assert_eq!(qweight.data.len(), qweight.rows * qweight.cols);
+        assert_eq!(qweight.scales.len(), qweight.rows, "one scale per output channel");
+        assert_eq!(bias.len(), qweight.rows, "one bias per output channel");
+        Self {
+            qweight,
+            bias,
+            act_scale,
+            in_channels,
+            geom,
+        }
+    }
+
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.qweight.rows
@@ -95,6 +133,16 @@ impl QuantizedConv2d {
     /// Per-output-channel weight quantization steps.
     pub fn weight_scales(&self) -> &[f32] {
         &self.qweight.scales
+    }
+
+    /// The `(Cout, Cin·K·K)` int8 filter matrix with per-row scales.
+    pub fn qweight(&self) -> &QuantizedMatrix {
+        &self.qweight
+    }
+
+    /// Full-precision bias, length `Cout`.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Dense MAC count for an `(h, w)` input, identical to the fp32
@@ -344,6 +392,47 @@ mod tests {
         assert_eq!(q.act_scale(), 0.01);
         assert_eq!(q.weight_scales().len(), 8);
         assert_eq!(q.macs(8, 8), conv.macs(8, 8));
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_exactly() {
+        let mut r = rng();
+        let conv = Conv2d::new(&mut r, 3, 6, 3, 1, 1);
+        let q = QuantizedConv2d::from_conv(&conv, 0.02);
+        let rebuilt = QuantizedConv2d::from_parts(
+            q.qweight().clone(),
+            q.bias().to_vec(),
+            q.act_scale(),
+            q.in_channels(),
+            q.geometry(),
+        );
+        let x = init::uniform(&mut r, &[2, 3, 5, 5], -1.0, 1.0);
+        let masks = vec![FeatureMask::keep_all(); 2];
+        let mut ca = MacCounter::new();
+        let ya = quantized_masked_conv2d(&x, &q, &masks, &mut ca);
+        let mut cb = MacCounter::new();
+        let yb = quantized_masked_conv2d(&x, &rebuilt, &masks, &mut cb);
+        assert_eq!(ca.total(), cb.total());
+        assert!(ya
+            .data()
+            .iter()
+            .zip(yb.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bias per output channel")]
+    fn from_parts_rejects_inconsistent_bias() {
+        let mut r = rng();
+        let conv = Conv2d::new(&mut r, 2, 4, 3, 1, 1);
+        let q = QuantizedConv2d::from_conv(&conv, 0.02);
+        let _ = QuantizedConv2d::from_parts(
+            q.qweight().clone(),
+            vec![0.0; 3],
+            q.act_scale(),
+            q.in_channels(),
+            q.geometry(),
+        );
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub const KNOWN_KNOBS: &[&str] = &[
     "ANTIDOTE_HTTP_KEEPALIVE_MAX",
     "ANTIDOTE_HTTP_RPS",
     "ANTIDOTE_HTTP_BURST",
+    "ANTIDOTE_HTTP_MODEL_DIR",
     // http bench
     "ANTIDOTE_HTTP_BENCH_REQUESTS",
     "ANTIDOTE_HTTP_BENCH_SEED",

@@ -57,6 +57,21 @@ cargo run --release -p antidote-bench --bin quant_bench -- --smoke
 # socket and tracing paths must not be budget-sensitive either.
 ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin http_bench -- --smoke
 ANTIDOTE_THREADS=4 cargo run --release -p antidote-bench --bin http_bench -- --smoke
+# .adm model-format gate: convert -> cold-start -> serve, bit-exactly.
+# First run trains a tiny VGG, converts fp32 + int8 .adm artifacts
+# in-process, cold-starts a registry from the directory, and asserts the
+# file-loaded engines serve logits bit-identical to in-memory builds.
+# The second leg re-does the round trip through the *shipped CLI*: the
+# emitted checkpoint goes through the `convert` binary (plain and
+# --quantize int8) and the resulting files must cold-start and serve
+# bit-exactly too. File names must stay tiny-fp32.adm / tiny-int8.adm —
+# the bench's probe loop expects exactly those models.
+ADM_DIR=$(mktemp -d)
+trap 'rm -rf "$ADM_DIR"' EXIT
+ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin adm_bench -- --smoke --emit-checkpoint "$ADM_DIR/ckpt.json"
+cargo run --release -p antidote-modelfile --bin convert -- --checkpoint "$ADM_DIR/ckpt.json" --out "$ADM_DIR/tiny-fp32.adm"
+cargo run --release -p antidote-modelfile --bin convert -- --checkpoint "$ADM_DIR/ckpt.json" --out "$ADM_DIR/tiny-int8.adm" --quantize int8 --calibrate minmax
+ANTIDOTE_THREADS=1 cargo run --release -p antidote-bench --bin adm_bench -- --smoke --model-dir "$ADM_DIR"
 # Documentation gate: rustdoc must build warning-clean (broken intra-doc
 # links are errors; antidote-tensor/par/obs deny missing docs).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
